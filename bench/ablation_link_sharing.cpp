@@ -1,0 +1,40 @@
+// Ablation A4: link contention model.  The default fair-share link divides
+// the 10 Mbps user<->storage pipe among concurrent transfers; the dedicated
+// model gives every transfer the full bandwidth (infinitely many parallel
+// links).  This quantifies how much of the remote-I/O slowdown is
+// contention vs serialization.
+#include "common.hpp"
+
+int main(int, char**) {
+  using namespace mcsim;
+  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+
+  std::cout << sectionBanner(
+      "A4 — fair-share vs dedicated link, Montage 1 degree, 16 processors");
+  Table t({"mode", "link", "makespan", "total cost (usage cpu + DM)"});
+  for (engine::DataMode mode :
+       {engine::DataMode::RemoteIO, engine::DataMode::Regular,
+        engine::DataMode::DynamicCleanup}) {
+    for (sim::LinkSharing sharing :
+         {sim::LinkSharing::FairShare, sim::LinkSharing::Dedicated}) {
+      engine::EngineConfig cfg;
+      cfg.mode = mode;
+      cfg.processors = 16;
+      cfg.linkSharing = sharing;
+      const auto r = engine::simulateWorkflow(wf, cfg);
+      const auto cost =
+          engine::computeCost(r, amazon, cloud::CpuBillingMode::Usage);
+      t.addRow({engine::dataModeName(mode),
+                sharing == sim::LinkSharing::FairShare ? "fair-share"
+                                                       : "dedicated",
+                formatDuration(r.makespanSeconds),
+                analysis::moneyCell(cost.total())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nTransfer *costs* are identical (bytes don't change); only "
+               "time shifts.  Remote I/O gains the most from an uncontended "
+               "link because every task round-trips the WAN.\n";
+  return 0;
+}

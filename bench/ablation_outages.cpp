@@ -1,0 +1,46 @@
+// Ablation A6: storage availability (paper §8: S3 targets 99.9% but "went
+// down twice in the first 7 months of 2008 ... the possible impact on the
+// applications can be significant").  Injects outage windows into the
+// user<->storage link and measures makespan/cost impact per data mode.
+#include "common.hpp"
+
+int main(int, char**) {
+  using namespace mcsim;
+  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+
+  std::cout << sectionBanner(
+      "A6 — storage outage impact, Montage 1 degree, 16 processors "
+      "(one outage starting 5 minutes in)");
+  Table t({"mode", "outage", "makespan", "slowdown", "provisioned cost"});
+  for (engine::DataMode mode :
+       {engine::DataMode::RemoteIO, engine::DataMode::Regular,
+        engine::DataMode::DynamicCleanup}) {
+    double baseline = 0.0;
+    for (double outageMinutes : {0.0, 10.0, 30.0, 60.0}) {
+      engine::EngineConfig cfg;
+      cfg.mode = mode;
+      cfg.processors = 16;
+      if (outageMinutes > 0.0)
+        cfg.outages.push_back({5.0 * 60.0, outageMinutes * 60.0});
+      const auto r = engine::simulateWorkflow(wf, cfg);
+      if (outageMinutes == 0.0) baseline = r.makespanSeconds;
+      const auto cost = engine::computeCost(
+          r, amazon, cloud::CpuBillingMode::Provisioned);
+      char slowdown[32];
+      std::snprintf(slowdown, sizeof slowdown, "+%.1f%%",
+                    100.0 * (r.makespanSeconds - baseline) / baseline);
+      t.addRow({engine::dataModeName(mode),
+                outageMinutes == 0.0 ? "none"
+                                     : formatDuration(outageMinutes * 60.0),
+                formatDuration(r.makespanSeconds), slowdown,
+                analysis::moneyCell(cost.total())});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nRemote I/O is exposed for its whole runtime; regular/"
+               "cleanup only stall if the outage overlaps stage-in/out -- "
+               "but under provisioned billing every stalled minute is still "
+               "paid for on all 16 processors.\n";
+  return 0;
+}

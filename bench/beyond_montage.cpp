@@ -1,0 +1,51 @@
+// Beyond Montage: the paper's closing observation — "Montage is only one of
+// a number of scientific applications that can potentially benefit from
+// cloud services" — made concrete.  Runs the Question-2 data-mode
+// comparison over the workflow gallery (CyberShake, Epigenomics, LIGO
+// Inspiral, SIPHT), whose CCRs span the range Fig 11 sweeps synthetically.
+#include "common.hpp"
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/workflows/gallery.hpp"
+
+int main(int, char**) {
+  using namespace mcsim;
+  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+
+  std::cout << sectionBanner(
+      "Workflow gallery — structure and CCR (B = 10 Mbps)");
+  Table shape({"workflow", "tasks", "levels", "cpu time", "data", "CCR"});
+  const auto gallery = workflows::buildGallery();
+  for (const dag::Workflow& wf : gallery) {
+    char ccr[32];
+    std::snprintf(ccr, sizeof ccr, "%.3f",
+                  wf.ccr(montage::kReferenceBandwidthBytesPerSec));
+    shape.addRow({wf.name(), std::to_string(wf.taskCount()),
+                  std::to_string(wf.levelCount()),
+                  formatDuration(wf.totalRuntimeSeconds()),
+                  formatBytes(wf.totalFileBytes()), ccr});
+  }
+  shape.print(std::cout);
+
+  std::cout << sectionBanner(
+      "Data-mode economics per workflow (usage billing, full parallelism)");
+  Table t({"workflow", "mode", "storage GB-h", "DM $", "cpu $", "total $"});
+  for (const dag::Workflow& wf : gallery) {
+    for (const auto& row : analysis::dataModeComparison(wf, amazon)) {
+      char gbh[32];
+      std::snprintf(gbh, sizeof gbh, "%.3f", row.storageGBHours);
+      t.addRow({wf.name(), engine::dataModeName(row.mode), gbh,
+                analysis::moneyCell(row.dataManagementCost()),
+                analysis::moneyCell(row.cpuCost),
+                analysis::moneyCell(row.totalCost())});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe Montage conclusion (storage negligible, cleanup "
+               "cheapest, remote I/O priciest) holds across the CPU-bound "
+               "workflows; for data-heavy CyberShake the data-management "
+               "share of cost grows toward parity with CPU, the regime the "
+               "paper's CCR sweep anticipates.\n";
+  return 0;
+}

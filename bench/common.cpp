@@ -1,0 +1,73 @@
+#include "common.hpp"
+
+#include "mcsim/util/csv.hpp"
+#include "mcsim/util/table.hpp"
+
+namespace mcsim::bench {
+namespace {
+
+const cloud::Pricing kAmazon = cloud::Pricing::amazon2008();
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void printProvisioningFigure(const std::string& figureId, double degrees,
+                             const std::vector<analysis::PaperAnchor>& anchors,
+                             bool csv) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+  const auto points = analysis::provisioningSweep(
+      wf, analysis::defaultProcessorLadder(), kAmazon);
+
+  std::cout << sectionBanner(figureId + " — " + wf.name() +
+                             ": execution cost and time vs provisioned "
+                             "processors (Regular mode, provisioned billing, "
+                             "Amazon 2008 fees)");
+  analysis::provisioningTable(points, anchors).print(std::cout);
+
+  if (csv) {
+    std::cout << "\n[csv]\n";
+    CsvWriter w(std::cout, {"processors", "makespan_s", "cpu_usd",
+                            "storage_usd", "storage_cleanup_usd",
+                            "transfer_usd", "total_usd", "utilization"});
+    for (const auto& p : points)
+      w.writeRow({std::to_string(p.processors), num(p.makespanSeconds),
+                  num(p.cpuCost.value()), num(p.storageCost.value()),
+                  num(p.storageCleanupCost.value()),
+                  num(p.transferCost.value()), num(p.totalCost.value()),
+                  num(p.utilization)});
+  }
+}
+
+void printDataModeFigure(const std::string& figureId, double degrees,
+                         bool csv) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+  const auto rows = analysis::dataModeComparison(wf, kAmazon);
+
+  std::cout << sectionBanner(
+      figureId + " — " + wf.name() +
+      ": data management metrics across execution modes (full parallelism, "
+      "usage billing)");
+  analysis::dataModeTable(rows).print(std::cout);
+
+  if (csv) {
+    std::cout << "\n[csv]\n";
+    CsvWriter w(std::cout,
+                {"mode", "makespan_s", "storage_gbh", "bytes_in", "bytes_out",
+                 "storage_usd", "in_usd", "out_usd", "dm_usd", "cpu_usd",
+                 "total_usd"});
+    for (const auto& r : rows)
+      w.writeRow({engine::dataModeName(r.mode), num(r.makespanSeconds),
+                  num(r.storageGBHours), num(r.bytesIn.value()),
+                  num(r.bytesOut.value()), num(r.storageCost.value()),
+                  num(r.transferInCost.value()), num(r.transferOutCost.value()),
+                  num(r.dataManagementCost().value()), num(r.cpuCost.value()),
+                  num(r.totalCost().value())});
+  }
+}
+
+}  // namespace mcsim::bench

@@ -1,0 +1,33 @@
+// Shared plumbing for the figure-reproduction binaries: each bench prints
+// one of the paper's figures/tables as an ASCII table (and a CSV block when
+// invoked with --csv), using the analysis drivers so tests and benches
+// exercise identical code.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mcsim/analysis/economics.hpp"
+#include "mcsim/analysis/experiments.hpp"
+#include "mcsim/analysis/report.hpp"
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::bench {
+
+inline bool wantCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--csv") return true;
+  return false;
+}
+
+/// Print the Question-1 provisioning figure (Figs 4/5/6) for one preset.
+void printProvisioningFigure(const std::string& figureId, double degrees,
+                             const std::vector<analysis::PaperAnchor>& anchors,
+                             bool csv);
+
+/// Print the data-management figure (Figs 7/8/9) for one preset.
+void printDataModeFigure(const std::string& figureId, double degrees,
+                         bool csv);
+
+}  // namespace mcsim::bench

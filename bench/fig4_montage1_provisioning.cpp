@@ -1,0 +1,13 @@
+// Reproduces Figure 4: execution costs and execution time of the Montage
+// 1-degree workflow as provisioned processors sweep 1..128.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+  bench::printProvisioningFigure(
+      "Fig 4", 1.0,
+      {{1, "paper: ~$0.60 total, 5.5 h"},
+       {128, "paper: almost $4, 18 min"}},
+      bench::wantCsv(argc, argv));
+  return 0;
+}

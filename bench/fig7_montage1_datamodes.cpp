@@ -1,0 +1,9 @@
+// Reproduces Figure 7: storage space-time, transfer volumes and costs of
+// the Montage 1-degree workflow under the three data-management modes.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  mcsim::bench::printDataModeFigure("Fig 7", 1.0,
+                                    mcsim::bench::wantCsv(argc, argv));
+  return 0;
+}

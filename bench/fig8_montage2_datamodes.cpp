@@ -1,0 +1,10 @@
+// Reproduces Figure 8: data-management metrics of the Montage 2-degree
+// workflow (paper: "cost distributions are similar for all the workflows
+// and differ only in magnitude").
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  mcsim::bench::printDataModeFigure("Fig 8", 2.0,
+                                    mcsim::bench::wantCsv(argc, argv));
+  return 0;
+}

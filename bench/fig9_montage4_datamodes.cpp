@@ -1,0 +1,9 @@
+// Reproduces Figure 9: data-management metrics of the Montage 4-degree
+// workflow.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  mcsim::bench::printDataModeFigure("Fig 9", 4.0,
+                                    mcsim::bench::wantCsv(argc, argv));
+  return 0;
+}

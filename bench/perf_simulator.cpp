@@ -1,0 +1,94 @@
+// P1: google-benchmark microbenchmarks of the simulator substrate itself —
+// event throughput, link fair-share overhead, full workflow simulations per
+// second.  These guard the "simulate thousands of sweeps interactively"
+// use case the planner depends on.
+#include <benchmark/benchmark.h>
+
+#include "mcsim/dag/random_dag.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+#include "mcsim/sim/link.hpp"
+#include "mcsim/sim/simulator.hpp"
+
+namespace {
+
+using namespace mcsim;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    long counter = 0;
+    for (int i = 0; i < events; ++i)
+      simulator.schedule((i * 37) % 1000, [&counter] { ++counter; });
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_FairShareLink(benchmark::State& state) {
+  const int transfers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Link link(simulator, 1.25e6);
+    int done = 0;
+    for (int i = 0; i < transfers; ++i)
+      link.startTransfer(Bytes(1000.0 + i), [&done] { ++done; });
+    simulator.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_FairShareLink)->Arg(100)->Arg(1000);
+
+void BM_MontageSimulation(benchmark::State& state) {
+  const double degrees = static_cast<double>(state.range(0));
+  const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+  engine::EngineConfig cfg;
+  cfg.processors = 16;
+  for (auto _ : state) {
+    const auto r = engine::simulateWorkflow(wf, cfg);
+    benchmark::DoNotOptimize(r.makespanSeconds);
+  }
+  state.SetLabel(wf.name() + " (" + std::to_string(wf.taskCount()) + " tasks)");
+}
+BENCHMARK(BM_MontageSimulation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MontageRemoteIoSimulation(benchmark::State& state) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  engine::EngineConfig cfg;
+  cfg.processors = 16;
+  cfg.mode = engine::DataMode::RemoteIO;
+  for (auto _ : state) {
+    const auto r = engine::simulateWorkflow(wf, cfg);
+    benchmark::DoNotOptimize(r.bytesIn);
+  }
+}
+BENCHMARK(BM_MontageRemoteIoSimulation);
+
+void BM_WorkflowGeneration(benchmark::State& state) {
+  const double degrees = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+    benchmark::DoNotOptimize(wf.taskCount());
+  }
+}
+BENCHMARK(BM_WorkflowGeneration)->Arg(1)->Arg(4);
+
+void BM_RandomDagSimulation(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  engine::EngineConfig cfg;
+  cfg.processors = 8;
+  for (auto _ : state) {
+    const dag::Workflow wf = dag::makeRandomWorkflow(seed++);
+    const auto r = engine::simulateWorkflow(wf, cfg);
+    benchmark::DoNotOptimize(r.makespanSeconds);
+  }
+}
+BENCHMARK(BM_RandomDagSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

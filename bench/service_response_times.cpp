@@ -1,0 +1,69 @@
+// Service under load: Poisson-arriving 1-degree mosaic requests on a shared
+// provisioned pool — Question 2's premise ("the requests can run at their
+// full level of parallelism") stress-tested.  Reports per-request response
+// times (completion minus arrival) vs pool size.
+#include "common.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcsim/dag/merge.hpp"
+#include "mcsim/util/rng.hpp"
+
+int main(int, char**) {
+  using namespace mcsim;
+  const dag::Workflow request = montage::buildMontageWorkflow(1.0);
+
+  // 24 requests over ~8 hours (one every ~20 min on average).
+  const int requestCount = 24;
+  Rng rng(2026);
+  std::vector<double> releases;
+  double t = 0.0;
+  for (int i = 0; i < requestCount; ++i) {
+    releases.push_back(t);
+    t += rng.exponential(20.0 * 60.0);
+  }
+  const std::vector<dag::Workflow> parts(
+      static_cast<std::size_t>(requestCount), request);
+  const dag::Workflow stream = dag::mergeWorkflowsStaggered(parts, releases);
+  const auto offsets = dag::partTaskOffsets(parts);
+
+  std::cout << sectionBanner(
+      "Service under load — 24 Poisson-arriving 1-degree requests "
+      "(~20 min apart) on one shared pool");
+  Table table({"pool size", "mean response", "p95 response", "max response",
+               "pool utilization"});
+  for (int pool : {8, 16, 32, 64, 128}) {
+    engine::EngineConfig cfg;
+    cfg.processors = pool;
+    cfg.mode = engine::DataMode::DynamicCleanup;
+    cfg.trace = true;
+    const auto r = engine::simulateWorkflow(stream, cfg);
+
+    std::vector<double> response;
+    for (int i = 0; i < requestCount; ++i) {
+      double finish = 0.0;
+      for (dag::TaskId id = offsets[static_cast<std::size_t>(i)];
+           id < offsets[static_cast<std::size_t>(i) + 1]; ++id)
+        finish = std::max(finish, r.taskRecords[id].finishTime);
+      response.push_back(finish - releases[static_cast<std::size_t>(i)]);
+    }
+    std::sort(response.begin(), response.end());
+    const double mean =
+        std::accumulate(response.begin(), response.end(), 0.0) /
+        static_cast<double>(response.size());
+    const double p95 =
+        response[static_cast<std::size_t>(0.95 * (response.size() - 1))];
+    char util[16];
+    std::snprintf(util, sizeof util, "%.0f%%", r.utilization() * 100.0);
+    table.addRow({std::to_string(pool), formatDuration(mean),
+                  formatDuration(p95), formatDuration(response.back()), util});
+  }
+  table.print(std::cout);
+  std::cout << "\nSmall pools queue arrivals behind each other (response "
+               "times far above a lone request's makespan); beyond the knee "
+               "extra processors only burn provisioned cost — Question 2's "
+               "\"larger than the needs of any single computation\" sizing "
+               "rule quantified.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Sky-survey service — Questions 2b and 3 played forward as a month in the
+// life of a mosaic service on the cloud.
+//
+// A Poisson stream of mosaic requests (mixed 1/2/4-degree sizes; 70% target
+// popular regions like Orion that repeat) hits the service.  Three
+// operating policies are billed against the same request stream:
+//   * recompute      — every request runs the workflow, staging the input
+//                      images from the project's own archive each time,
+//   * archive        — the 12 TB 2MASS archive lives in cloud storage
+//                      ($1,800/month, Question 2b), recompute every mosaic,
+//   * archive+cache  — additionally, finished mosaics of popular regions
+//                      are stored and repeat requests served directly
+//                      (Question 3's advice).
+//
+//   ./examples/sky_survey_service [--rate N] [--months M] [--seed S]
+#include <iostream>
+
+#include "mcsim/analysis/report.hpp"
+#include "mcsim/analysis/service.hpp"
+#include "mcsim/montage/factory.hpp"
+#include "mcsim/util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+
+  ArgParser args({"rate", "months", "seed"}, {});
+  args.parse(argc - 1, argv + 1);
+
+  analysis::ServiceWorkloadParams params;
+  params.requestsPerDay = args.numberOr("rate", 40.0);
+  params.horizonSeconds = args.numberOr("months", 1.0) * kSecondsPerMonth;
+  params.seed = static_cast<std::uint64_t>(args.intOr("seed", 42));
+
+  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+
+  // Per-request costs come straight from the simulator: one Regular-mode run
+  // per mosaic size (usage billing, full parallelism).
+  std::vector<analysis::RequestProfile> profiles;
+  const double weights[] = {0.5, 0.3, 0.2};  // most requests are small
+  int i = 0;
+  for (double deg : {1.0, 2.0, 4.0}) {
+    const auto p = montage::paramsForDegrees(deg);
+    analysis::RequestProfile profile = analysis::profileFromWorkflow(
+        montage::buildMontageWorkflow(p), p.mosaicBytes, amazon);
+    profile.weight = weights[i++];
+    profiles.push_back(profile);
+  }
+
+  std::cout << "per-request costs (simulated):\n";
+  Table costs({"mosaic", "on demand", "pre-staged", "served from cache"});
+  for (const auto& p : profiles)
+    costs.addRow({p.name, analysis::moneyCell(p.costOnDemand),
+                  analysis::moneyCell(p.costPreStaged),
+                  analysis::moneyCell(p.costServeStored)});
+  costs.print(std::cout);
+
+  const auto report = analysis::simulateServiceMonth(
+      profiles, Bytes::fromTB(12.0), amazon, params);
+
+  std::cout << "\nsimulated " << params.horizonSeconds / kSecondsPerDay
+            << " days: " << report.requestCount << " requests ("
+            << params.requestsPerDay << "/day), " << report.cacheHits
+            << " cache hits, " << formatBytes(report.cachedProductBytes)
+            << " of mosaics cached\n";
+
+  std::cout << sectionBanner("bill by operating policy");
+  Table bill({"policy", "total", "per request"});
+  for (const analysis::PolicyCost* policy :
+       {&report.recompute, &report.archiveInCloud, &report.archivePlusCache}) {
+    bill.addRow({policy->policy, formatMoney(policy->total),
+                 analysis::moneyCell(policy->perRequest(report.requestCount))});
+  }
+  bill.print(std::cout);
+
+  std::cout << "\nCheapest: " << report.best().policy
+            << ".  The paper's break-even (Q2b) is ~18,000 requests/month "
+               "for the archive alone; caching popular products (Q3) moves "
+               "the threshold because a stored mosaic costs only its "
+               "transfer-out to serve.\n";
+  return 0;
+}

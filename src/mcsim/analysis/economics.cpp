@@ -1,0 +1,65 @@
+#include "mcsim/analysis/economics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcsim::analysis {
+
+ArchiveEconomics archiveBreakEven(Bytes archiveBytes,
+                                  Money requestCostPreStaged,
+                                  Money requestCostOnDemand,
+                                  const cloud::Pricing& pricing) {
+  if (archiveBytes.value() <= 0.0)
+    throw std::invalid_argument("archiveBreakEven: archive must be non-empty");
+  ArchiveEconomics e;
+  e.archiveBytes = archiveBytes;
+  e.monthlyStorageCost = pricing.storageCost(archiveBytes, kSecondsPerMonth);
+  e.initialTransferCost = pricing.transferInCost(archiveBytes);
+  e.requestCostPreStaged = requestCostPreStaged;
+  e.requestCostOnDemand = requestCostOnDemand;
+  e.savingPerRequest = requestCostOnDemand - requestCostPreStaged;
+  e.breakEvenRequestsPerMonth =
+      e.savingPerRequest.value() > 0.0
+          ? e.monthlyStorageCost.value() / e.savingPerRequest.value()
+          : std::numeric_limits<double>::infinity();
+  return e;
+}
+
+ArchivalDecision mosaicArchivalDecision(Money computeCost, Bytes productBytes,
+                                        const cloud::Pricing& pricing) {
+  if (productBytes.value() <= 0.0)
+    throw std::invalid_argument("mosaicArchivalDecision: empty product");
+  ArchivalDecision d;
+  d.computeCost = computeCost;
+  d.productBytes = productBytes;
+  d.monthlyStorageCost = pricing.storageCost(productBytes, kSecondsPerMonth);
+  d.breakEvenMonths = d.monthlyStorageCost.value() > 0.0
+                          ? computeCost.value() / d.monthlyStorageCost.value()
+                          : std::numeric_limits<double>::infinity();
+  return d;
+}
+
+int skyPlateCount(double plateDegrees, double coverageSquareDegrees) {
+  if (!(plateDegrees > 0.0))
+    throw std::invalid_argument("skyPlateCount: plate size must be positive");
+  if (!(coverageSquareDegrees > 0.0))
+    throw std::invalid_argument("skyPlateCount: coverage must be positive");
+  return static_cast<int>(
+      std::ceil(coverageSquareDegrees / (plateDegrees * plateDegrees)));
+}
+
+SkyCampaignCost skyCampaign(int plateCount, Money perPlateOnDemand,
+                            Money perPlatePreStaged) {
+  if (plateCount <= 0)
+    throw std::invalid_argument("skyCampaign: plateCount must be positive");
+  SkyCampaignCost c;
+  c.plateCount = plateCount;
+  c.perPlateOnDemand = perPlateOnDemand;
+  c.perPlatePreStaged = perPlatePreStaged;
+  c.totalOnDemand = perPlateOnDemand * plateCount;
+  c.totalPreStaged = perPlatePreStaged * plateCount;
+  return c;
+}
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,80 @@
+// Closed-form service economics: the arithmetic of Questions 2b and 3.
+//
+// These are deliberately analytic (the paper computes them by hand from the
+// simulated per-request costs): archive-hosting break-even, whole-sky
+// campaign cost, and the archive-the-mosaic-or-recompute decision.
+#pragma once
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/util/units.hpp"
+
+namespace mcsim::analysis {
+
+/// Question 2b: is hosting a large input archive (2MASS: 12 TB) in the
+/// cloud worth it, given it saves `onDemand - preStaged` per request?
+struct ArchiveEconomics {
+  Bytes archiveBytes;
+  Money monthlyStorageCost;    ///< archive x storage rate per month.
+  Money initialTransferCost;   ///< One-time cost of uploading the archive.
+  Money requestCostPreStaged;  ///< Per-request cost with data in the cloud.
+  Money requestCostOnDemand;   ///< Per-request cost staging data in.
+  Money savingPerRequest;      ///< onDemand - preStaged.
+  /// Requests per month needed for the saving to cover storage; infinity if
+  /// the saving is non-positive.
+  double breakEvenRequestsPerMonth;
+};
+
+ArchiveEconomics archiveBreakEven(Bytes archiveBytes,
+                                  Money requestCostPreStaged,
+                                  Money requestCostOnDemand,
+                                  const cloud::Pricing& pricing);
+
+/// Question 3 (second part): store a computed mosaic, or recompute it on
+/// demand?  "For the cost of 56 cents, this mosaic can be stored for 21.52
+/// months."
+struct ArchivalDecision {
+  Money computeCost;       ///< CPU cost to regenerate the product.
+  Bytes productBytes;      ///< Mosaic size.
+  Money monthlyStorageCost;
+  double breakEvenMonths;  ///< Store if a repeat request is likely sooner.
+};
+
+ArchivalDecision mosaicArchivalDecision(Money computeCost, Bytes productBytes,
+                                        const cloud::Pricing& pricing);
+
+/// Question 3 (first part): cost of mosaicking the whole sky as N plates.
+struct SkyCampaignCost {
+  int plateCount;
+  Money perPlateOnDemand;   ///< Input data staged from outside the cloud.
+  Money perPlatePreStaged;  ///< Input data already archived in the cloud.
+  Money totalOnDemand;
+  Money totalPreStaged;
+};
+
+SkyCampaignCost skyCampaign(int plateCount, Money perPlateOnDemand,
+                            Money perPlatePreStaged);
+
+/// The full sky is ~41,253 square degrees; the paper tiles it "with some
+/// overlap" into 3,900 4-degree or 1,734 6-degree plates, which implies a
+/// covered area of 62,400 square degrees (overlap factor ~1.513).
+inline constexpr double kFullSkySquareDegrees = 41253.0;
+inline constexpr double kPaperSkyCoverageSquareDegrees = 62400.0;
+
+/// Number of square plates of the given edge length needed to tile the sky
+/// at the paper's overlap.  Reproduces the paper's counts exactly:
+/// skyPlateCount(4) == 3,900 and skyPlateCount(6) == 1,734.
+int skyPlateCount(double plateDegrees,
+                  double coverageSquareDegrees = kPaperSkyCoverageSquareDegrees);
+
+/// Question 1's service arithmetic: cost of serving `requests` mosaics when
+/// each runs on a fixed provisioned allocation ("providing 500 4-degree
+/// square mosaics to astronomers would cost $4,500 using 1 processor...").
+struct ServicePlan {
+  int processors;
+  int requests;
+  Money perRequestCost;
+  double perRequestMakespanSeconds;
+  Money totalCost() const { return perRequestCost * requests; }
+};
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,118 @@
+#include "mcsim/analysis/experiments.hpp"
+
+#include <stdexcept>
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/metrics.hpp"
+#include "mcsim/montage/ccr.hpp"
+
+namespace mcsim::analysis {
+
+std::vector<int> defaultProcessorLadder() {
+  return {1, 2, 4, 8, 16, 32, 64, 128};
+}
+
+std::vector<ProvisioningPoint> provisioningSweep(
+    const dag::Workflow& wf, const std::vector<int>& processorCounts,
+    const cloud::Pricing& pricing, engine::EngineConfig base,
+    cloud::BillingGranularity granularity) {
+  std::vector<ProvisioningPoint> points;
+  points.reserve(processorCounts.size());
+  for (int p : processorCounts) {
+    engine::EngineConfig cfg = base;
+    cfg.processors = p;
+    cfg.mode = engine::DataMode::Regular;
+    const engine::ExecutionResult regular = engine::simulateWorkflow(wf, cfg);
+    cfg.mode = engine::DataMode::DynamicCleanup;
+    const engine::ExecutionResult cleanup = engine::simulateWorkflow(wf, cfg);
+
+    const cloud::CostBreakdown cost = engine::computeCost(
+        regular, pricing, cloud::CpuBillingMode::Provisioned, granularity);
+
+    ProvisioningPoint pt;
+    pt.processors = p;
+    pt.makespanSeconds = regular.makespanSeconds;
+    pt.cpuCost = cost.cpu;
+    pt.storageCost = cost.storage;
+    pt.storageCleanupCost = pricing.storageCost(cleanup.storageByteSeconds);
+    pt.transferCost = cost.transfer();
+    pt.totalCost = cost.total();
+    pt.utilization = regular.utilization();
+    points.push_back(pt);
+  }
+  return points;
+}
+
+std::vector<DataModeMetrics> dataModeComparison(const dag::Workflow& wf,
+                                                const cloud::Pricing& pricing,
+                                                engine::EngineConfig base,
+                                                int processorOverride) {
+  const int processors =
+      processorOverride > 0
+          ? processorOverride
+          : static_cast<int>(std::max<std::size_t>(1, dag::maxParallelism(wf)));
+
+  std::vector<DataModeMetrics> rows;
+  for (engine::DataMode mode :
+       {engine::DataMode::RemoteIO, engine::DataMode::Regular,
+        engine::DataMode::DynamicCleanup}) {
+    engine::EngineConfig cfg = base;
+    cfg.mode = mode;
+    cfg.processors = processors;
+    const engine::ExecutionResult r = engine::simulateWorkflow(wf, cfg);
+    const cloud::CostBreakdown cost =
+        engine::computeCost(r, pricing, cloud::CpuBillingMode::Usage);
+
+    DataModeMetrics row;
+    row.mode = mode;
+    row.makespanSeconds = r.makespanSeconds;
+    row.storageGBHours = r.storageGBHours();
+    row.bytesIn = r.bytesIn;
+    row.bytesOut = r.bytesOut;
+    row.storageCost = cost.storage;
+    row.transferInCost = cost.transferIn;
+    row.transferOutCost = cost.transferOut;
+    row.cpuCost = cost.cpu;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
+                               const std::vector<double>& ccrTargets,
+                               int processors, const cloud::Pricing& pricing,
+                               engine::EngineConfig base) {
+  if (processors < 1)
+    throw std::invalid_argument("ccrSweep: processors must be >= 1");
+  std::vector<CcrPoint> points;
+  points.reserve(ccrTargets.size());
+  for (double target : ccrTargets) {
+    dag::Workflow scaled = wf;
+    montage::rescaleToCcr(scaled, target, base.linkBandwidthBytesPerSec);
+
+    engine::EngineConfig cfg = base;
+    cfg.processors = processors;
+    cfg.mode = engine::DataMode::Regular;
+    const engine::ExecutionResult regular =
+        engine::simulateWorkflow(scaled, cfg);
+    cfg.mode = engine::DataMode::DynamicCleanup;
+    const engine::ExecutionResult cleanup =
+        engine::simulateWorkflow(scaled, cfg);
+
+    const cloud::CostBreakdown cost = engine::computeCost(
+        regular, pricing, cloud::CpuBillingMode::Provisioned);
+
+    CcrPoint pt;
+    pt.ccr = target;
+    pt.makespanSeconds = regular.makespanSeconds;
+    pt.cpuCost = cost.cpu;
+    pt.storageCost = cost.storage;
+    pt.storageCleanupCost = pricing.storageCost(cleanup.storageByteSeconds);
+    pt.transferCost = cost.transfer();
+    pt.totalCost = cost.total();
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,88 @@
+// Experiment drivers for every figure and table in the paper's evaluation.
+//
+// Each driver returns typed rows so the bench harness, the tests and the
+// examples share one implementation of each experiment:
+//   * provisioningSweep      — Figs 4, 5, 6 (Question 1)
+//   * dataModeComparison     — Figs 7, 8, 9 (Question 2a)
+//   * cpuVsDataManagement    — Fig 10
+//   * ccrSweep               — Fig 11 (+ the CCR table via Workflow::ccr)
+#pragma once
+
+#include <vector>
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/engine.hpp"
+
+namespace mcsim::analysis {
+
+/// One point of the Question-1 sweep: P processors provisioned for the
+/// whole run, Regular-mode execution, storage shown with and without
+/// cleanup (the paired DynamicCleanup run).
+struct ProvisioningPoint {
+  int processors = 0;
+  double makespanSeconds = 0.0;
+  Money cpuCost;             ///< processors x makespan x rate.
+  Money storageCost;         ///< Without cleanup.
+  Money storageCleanupCost;  ///< With cleanup.
+  Money transferCost;        ///< In + out; independent of processors.
+  /// Paper's plotted total: CPU + transfer + storage *without* cleanup.
+  Money totalCost;
+  double utilization = 0.0;
+};
+
+/// Run the sweep for each processor count in `processorCounts`.
+/// `base` supplies every configuration knob except mode and processors.
+std::vector<ProvisioningPoint> provisioningSweep(
+    const dag::Workflow& wf, const std::vector<int>& processorCounts,
+    const cloud::Pricing& pricing, engine::EngineConfig base = {},
+    cloud::BillingGranularity granularity = cloud::BillingGranularity::PerSecond);
+
+/// The paper's geometric progression 1..128.
+std::vector<int> defaultProcessorLadder();
+
+/// One Question-2a row: metrics of a single data-management mode with
+/// resources billed by usage and enough processors for full parallelism.
+struct DataModeMetrics {
+  engine::DataMode mode = engine::DataMode::Regular;
+  double makespanSeconds = 0.0;
+  double storageGBHours = 0.0;
+  Bytes bytesIn;
+  Bytes bytesOut;
+  Money storageCost;
+  Money transferInCost;
+  Money transferOutCost;
+  Money cpuCost;  ///< Usage-billed; invariant across modes (Fig 10).
+
+  Money dataManagementCost() const {
+    return storageCost + transferInCost + transferOutCost;
+  }
+  Money totalCost() const { return dataManagementCost() + cpuCost; }
+};
+
+/// Run all three modes (RemoteIO, Regular, DynamicCleanup, in that order)
+/// at full parallelism.  `processorOverride` > 0 forces a processor count;
+/// otherwise the workflow's max parallelism is used ("the requests can run
+/// at their full level of parallelism", §4 Question 2).
+std::vector<DataModeMetrics> dataModeComparison(
+    const dag::Workflow& wf, const cloud::Pricing& pricing,
+    engine::EngineConfig base = {}, int processorOverride = 0);
+
+/// One Fig-11 point: the 1-degree workflow rescaled to `ccr`, run on a
+/// fixed provisioned processor count (the paper uses 8).
+struct CcrPoint {
+  double ccr = 0.0;
+  double makespanSeconds = 0.0;
+  Money cpuCost;             ///< Provisioned (8 procs x makespan).
+  Money storageCost;         ///< Without cleanup.
+  Money storageCleanupCost;  ///< With cleanup.
+  Money transferCost;
+  Money totalCost;           ///< CPU + transfer + storage without cleanup.
+};
+
+std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
+                               const std::vector<double>& ccrTargets,
+                               int processors, const cloud::Pricing& pricing,
+                               engine::EngineConfig base = {});
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,60 @@
+#include "mcsim/analysis/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mcsim/dag/algorithms.hpp"
+
+namespace mcsim::analysis {
+
+AnalyticEstimate estimateRegularRun(const dag::Workflow& wf, int processors,
+                                    const cloud::Pricing& pricing,
+                                    double linkBandwidthBytesPerSec) {
+  if (processors < 1)
+    throw std::invalid_argument("estimateRegularRun: processors must be >= 1");
+  if (!(linkBandwidthBytesPerSec > 0.0))
+    throw std::invalid_argument("estimateRegularRun: bandwidth must be > 0");
+
+  const double b = linkBandwidthBytesPerSec;
+  const double work = wf.totalRuntimeSeconds();
+  const double criticalPath = dag::criticalPathSeconds(wf);
+  const double p = static_cast<double>(processors);
+
+  double maxInput = 0.0;
+  for (dag::FileId f : wf.externalInputs())
+    maxInput = std::max(maxInput, wf.file(f).size.value());
+  double maxOutput = 0.0;
+  for (dag::FileId f : wf.workflowOutputs())
+    maxOutput = std::max(maxOutput, wf.file(f).size.value());
+
+  AnalyticEstimate e;
+  e.bytesIn = wf.externalInputBytes();
+  e.bytesOut = wf.workflowOutputBytes();
+
+  // Compute-phase bounds.  Lower: no schedule beats the critical path or
+  // perfect work division.  Upper: Graham's bound for greedy list
+  // scheduling, makespan <= work/P + criticalPath (the (P-1)/P factor on
+  // the path term is relaxed for simplicity).
+  const double computeLower = std::max(criticalPath, work / p);
+  const double computeUpper = work / p + criticalPath;
+
+  // Transfers on dedicated links: stage-out of the largest product is
+  // unavoidable and cannot overlap compute (it follows the last task);
+  // stage-in overlaps compute partially, so it appears only in the upper
+  // bound and the point estimate.
+  e.makespanLowerSeconds = computeLower + maxOutput / b;
+  e.makespanUpperSeconds =
+      maxInput / b + computeUpper + e.bytesOut.value() / b;
+  e.makespanEstimateSeconds = maxInput / b + computeLower + maxOutput / b;
+
+  e.cpuUsage = pricing.cpuCost(work);
+  e.cpuProvisionedEstimate =
+      pricing.cpuCost(e.makespanEstimateSeconds * p);
+  e.transferCost =
+      pricing.transferInCost(e.bytesIn) + pricing.transferOutCost(e.bytesOut);
+  e.storageUpperBound = pricing.storageCost(
+      wf.totalFileBytes().value() * e.makespanUpperSeconds);
+  return e;
+}
+
+}  // namespace mcsim::analysis

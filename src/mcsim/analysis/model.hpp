@@ -1,0 +1,47 @@
+// Analytic (closed-form) cost model: predicts the metrics of a Regular-mode
+// run from workflow statistics alone, without simulating.
+//
+// Uses: (1) the planner can pre-screen hundreds of configurations at
+// near-zero cost before simulating the shortlist, (2) tests cross-validate
+// the simulator against an independent derivation — the bounds proven here
+// must bracket every simulated run.
+#pragma once
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::analysis {
+
+struct AnalyticEstimate {
+  /// Guaranteed bracket for the Regular-mode makespan on P processors with
+  /// dedicated per-transfer links:
+  ///   lower = max(criticalPath, work/P) + maxOutputFile/B
+  ///   upper = maxInputFile/B + (work/P + criticalPath) + totalOutput/B
+  /// (the middle term is Graham's list-scheduling bound).
+  double makespanLowerSeconds = 0.0;
+  double makespanUpperSeconds = 0.0;
+  /// Point estimate used for cost projections: lower bound plus stage-in.
+  double makespanEstimateSeconds = 0.0;
+
+  Bytes bytesIn;   ///< External inputs (exact for Regular mode).
+  Bytes bytesOut;  ///< Workflow outputs (exact for Regular mode).
+
+  Money cpuProvisionedEstimate;  ///< P x makespanEstimate x rate.
+  Money cpuUsage;                ///< Work x rate (exact).
+  Money transferCost;            ///< Exact for Regular mode.
+  /// Storage bracket: resident bytes never exceed total file bytes, so
+  /// cost <= totalBytes x makespanUpper x rate; >= outputBytes held for the
+  /// final stage-out.
+  Money storageUpperBound;
+
+  Money totalEstimate() const {
+    return cpuProvisionedEstimate + transferCost;
+  }
+};
+
+/// Predict a Regular-mode run of `wf` on `processors` processors.
+AnalyticEstimate estimateRegularRun(const dag::Workflow& wf, int processors,
+                                    const cloud::Pricing& pricing,
+                                    double linkBandwidthBytesPerSec = 10e6 / 8.0);
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,64 @@
+#include "mcsim/analysis/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcsim::analysis {
+
+RequestShape shapeFromWorkflow(const dag::Workflow& wf) {
+  RequestShape s;
+  s.cpuSeconds = wf.totalRuntimeSeconds();
+  s.inputBytes = wf.externalInputBytes();
+  s.productBytes = wf.workflowOutputBytes();
+  return s;
+}
+
+std::vector<PlacementPlan> comparePlacements(
+    const RequestShape& shape, Bytes archiveBytes, double requestsPerMonth,
+    const std::vector<cloud::Pricing>& providers) {
+  if (providers.empty())
+    throw std::invalid_argument("comparePlacements: no providers");
+  if (requestsPerMonth < 0.0)
+    throw std::invalid_argument("comparePlacements: negative request volume");
+
+  std::vector<PlacementPlan> plans;
+  for (const cloud::Pricing& compute : providers) {
+    for (const cloud::Pricing& archive : providers) {
+      PlacementPlan plan;
+      plan.computeProvider = compute.providerName;
+      plan.archiveProvider = archive.providerName;
+      plan.colocated = compute.providerName == archive.providerName;
+
+      plan.archiveMonthly =
+          archive.storageCost(archiveBytes, kSecondsPerMonth);
+      plan.computePerRequest = compute.cpuCost(shape.cpuSeconds);
+
+      Money transfer;
+      if (!plan.colocated) {
+        // The archive provider charges egress, the compute provider ingress.
+        transfer += archive.transferOutCost(shape.inputBytes);
+        transfer += compute.transferInCost(shape.inputBytes);
+      }
+      // The product always leaves the compute provider for the user.
+      transfer += compute.transferOutCost(shape.productBytes);
+      plan.transferPerRequest = transfer;
+
+      plan.monthlyTotal =
+          plan.archiveMonthly +
+          (plan.computePerRequest + plan.transferPerRequest) *
+              requestsPerMonth;
+      plans.push_back(plan);
+    }
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const PlacementPlan& a, const PlacementPlan& b) {
+              if (a.monthlyTotal != b.monthlyTotal)
+                return a.monthlyTotal < b.monthlyTotal;
+              if (a.computeProvider != b.computeProvider)
+                return a.computeProvider < b.computeProvider;
+              return a.archiveProvider < b.archiveProvider;
+            });
+  return plans;
+}
+
+}  // namespace mcsim::analysis

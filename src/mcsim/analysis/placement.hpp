@@ -1,0 +1,51 @@
+// Multi-provider placement planning.
+//
+// The paper's conclusion anticipates a market where "some providers will
+// have a cheaper rate for compute resources while others will have a
+// cheaper rate for storage ... applications will have more options to
+// consider and more execution and provisioning plans to develop."  This
+// module evaluates those plans: every (compute provider, archive provider)
+// pairing for a monthly request volume, including the cross-provider
+// transfer fees that co-location avoids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::analysis {
+
+/// What one request moves and computes, independent of provider.
+struct RequestShape {
+  double cpuSeconds = 0.0;  ///< Σ task runtimes (usage billing).
+  Bytes inputBytes;         ///< Archive data read per request.
+  Bytes productBytes;       ///< Result shipped to the user.
+};
+
+/// Derive the shape from a workflow's aggregates.
+RequestShape shapeFromWorkflow(const dag::Workflow& wf);
+
+/// One placement: compute on `compute`, host the archive on `archive`.
+struct PlacementPlan {
+  std::string computeProvider;
+  std::string archiveProvider;
+  bool colocated = false;
+
+  Money archiveMonthly;       ///< Archive storage fee per month.
+  Money computePerRequest;    ///< CPU fee per request.
+  Money transferPerRequest;   ///< Archive egress + compute ingress (zero
+                              ///< when co-located) + product egress.
+  Money monthlyTotal;         ///< archive + requests x per-request fees.
+};
+
+/// Evaluate every (compute, archive) pairing for `requestsPerMonth`
+/// requests of the given shape, cheapest first.  Intra-provider data access
+/// is free (as with EC2/S3); cross-provider reads pay the archive
+/// provider's egress and the compute provider's ingress.
+std::vector<PlacementPlan> comparePlacements(
+    const RequestShape& shape, Bytes archiveBytes, double requestsPerMonth,
+    const std::vector<cloud::Pricing>& providers);
+
+}  // namespace mcsim::analysis

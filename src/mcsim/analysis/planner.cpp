@@ -1,0 +1,78 @@
+#include "mcsim/analysis/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcsim::analysis {
+
+std::vector<ProvisioningPoint> paretoFrontier(
+    std::vector<ProvisioningPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const ProvisioningPoint& a, const ProvisioningPoint& b) {
+              if (a.makespanSeconds != b.makespanSeconds)
+                return a.makespanSeconds < b.makespanSeconds;
+              return a.totalCost < b.totalCost;
+            });
+  std::vector<ProvisioningPoint> frontier;
+  Money bestCost{std::numeric_limits<double>::infinity()};
+  for (const ProvisioningPoint& p : points) {
+    if (p.totalCost < bestCost) {
+      frontier.push_back(p);
+      bestCost = p.totalCost;
+    }
+  }
+  return frontier;
+}
+
+Recommendation recommendProvisioning(const dag::Workflow& wf,
+                                     const cloud::Pricing& pricing,
+                                     const PlannerGoal& goal,
+                                     std::vector<int> processorCounts,
+                                     engine::EngineConfig base) {
+  if (processorCounts.empty()) processorCounts = defaultProcessorLadder();
+  const auto points = provisioningSweep(wf, processorCounts, pricing, base);
+
+  Recommendation rec;
+  rec.frontier = paretoFrontier(points);
+
+  const ProvisioningPoint* best = nullptr;
+  for (const ProvisioningPoint& p : points) {
+    if (p.makespanSeconds > goal.deadlineSeconds) continue;
+    if (p.totalCost > goal.budget) continue;
+    if (best == nullptr || p.totalCost < best->totalCost ||
+        (p.totalCost == best->totalCost &&
+         p.makespanSeconds < best->makespanSeconds)) {
+      best = &p;
+    }
+  }
+
+  std::ostringstream why;
+  if (best != nullptr) {
+    rec.feasible = true;
+    rec.choice = *best;
+    why << "cheapest configuration meeting the goal: " << best->processors
+        << " processors, " << formatDuration(best->makespanSeconds) << " for "
+        << formatMoney(best->totalCost);
+  } else {
+    // Nothing satisfies the goal; surface the closest-to-deadline point so
+    // the caller can see how far off the goal is.
+    const ProvisioningPoint* closest = nullptr;
+    for (const ProvisioningPoint& p : points) {
+      if (closest == nullptr || p.makespanSeconds < closest->makespanSeconds)
+        closest = &p;
+    }
+    if (closest != nullptr) rec.choice = *closest;
+    why << "no configuration satisfies the goal; fastest sweep point is "
+        << (closest != nullptr ? std::to_string(closest->processors) : "n/a")
+        << " processors at "
+        << (closest != nullptr ? formatDuration(closest->makespanSeconds)
+                               : std::string("n/a"))
+        << " costing "
+        << (closest != nullptr ? formatMoney(closest->totalCost)
+                               : std::string("n/a"));
+  }
+  rec.rationale = why.str();
+  return rec;
+}
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,107 @@
+#include "mcsim/analysis/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mcsim/engine/metrics.hpp"
+
+namespace mcsim::analysis {
+namespace {
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string moneyCell(Money m) {
+  // Four decimals: storage costs are fractions of a cent and the paper's
+  // log-scale plots make them discernible.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "$%.4f", m.value());
+  return buf;
+}
+
+Table provisioningTable(const std::vector<ProvisioningPoint>& points,
+                        const std::vector<PaperAnchor>& anchors) {
+  Table t({"procs", "makespan", "cpu cost", "storage", "storage(C)",
+           "transfer", "total", "util", "paper anchor"});
+  for (const ProvisioningPoint& p : points) {
+    std::string anchor;
+    for (const PaperAnchor& a : anchors)
+      if (a.processors == p.processors) anchor = a.note;
+    t.addRow({std::to_string(p.processors), formatDuration(p.makespanSeconds),
+              moneyCell(p.cpuCost), moneyCell(p.storageCost),
+              moneyCell(p.storageCleanupCost), moneyCell(p.transferCost),
+              moneyCell(p.totalCost), fixed(p.utilization * 100.0, 1) + "%",
+              anchor});
+  }
+  return t;
+}
+
+Table dataModeTable(const std::vector<DataModeMetrics>& rows) {
+  Table t({"mode", "makespan", "storage GB-h", "data in", "data out",
+           "storage $", "in $", "out $", "DM $", "cpu $", "total $"});
+  for (const DataModeMetrics& r : rows) {
+    t.addRow({engine::dataModeName(r.mode), formatDuration(r.makespanSeconds),
+              fixed(r.storageGBHours, 3), formatBytes(r.bytesIn),
+              formatBytes(r.bytesOut), moneyCell(r.storageCost),
+              moneyCell(r.transferInCost), moneyCell(r.transferOutCost),
+              moneyCell(r.dataManagementCost()), moneyCell(r.cpuCost),
+              moneyCell(r.totalCost())});
+  }
+  return t;
+}
+
+Table ccrTable(const std::vector<CcrPoint>& points) {
+  Table t({"CCR", "makespan", "cpu cost", "storage", "storage(C)", "transfer",
+           "total"});
+  for (const CcrPoint& p : points) {
+    t.addRow({fixed(p.ccr, 3), formatDuration(p.makespanSeconds),
+              moneyCell(p.cpuCost), moneyCell(p.storageCost),
+              moneyCell(p.storageCleanupCost), moneyCell(p.transferCost),
+              moneyCell(p.totalCost)});
+  }
+  return t;
+}
+
+Table cpuVsDmTable(const std::vector<CpuVsDmRow>& rows) {
+  Table t({"workflow", "mode", "cpu $", "DM $", "total $"});
+  for (const CpuVsDmRow& r : rows) {
+    t.addRow({r.workflow, engine::dataModeName(r.mode), moneyCell(r.cpuCost),
+              moneyCell(r.dmCost), moneyCell(r.totalCost)});
+  }
+  return t;
+}
+
+Table archiveEconomicsTable(const ArchiveEconomics& e) {
+  Table t({"quantity", "value"}, {Align::Left, Align::Right});
+  t.addRow({"archive size", formatBytes(e.archiveBytes)});
+  t.addRow({"monthly storage cost", formatMoney(e.monthlyStorageCost)});
+  t.addRow({"initial upload cost", formatMoney(e.initialTransferCost)});
+  t.addRow({"request cost, data pre-staged", moneyCell(e.requestCostPreStaged)});
+  t.addRow({"request cost, data on demand", moneyCell(e.requestCostOnDemand)});
+  t.addRow({"saving per request", moneyCell(e.savingPerRequest)});
+  t.addRow({"break-even requests/month",
+            std::isfinite(e.breakEvenRequestsPerMonth)
+                ? fixed(e.breakEvenRequestsPerMonth, 0)
+                : "never"});
+  return t;
+}
+
+Table archivalDecisionTable(const std::vector<ArchivalDecision>& decisions,
+                            const std::vector<std::string>& labels) {
+  Table t({"mosaic", "compute cost", "size", "storage $/month",
+           "break-even months"});
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const ArchivalDecision& d = decisions[i];
+    t.addRow({i < labels.size() ? labels[i] : std::to_string(i),
+              moneyCell(d.computeCost), formatBytes(d.productBytes),
+              moneyCell(d.monthlyStorageCost), fixed(d.breakEvenMonths, 2)});
+  }
+  return t;
+}
+
+}  // namespace mcsim::analysis

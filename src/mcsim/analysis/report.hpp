@@ -1,0 +1,47 @@
+// Shared table renderers: every bench binary prints the same figure the
+// same way, with optional "paper" anchor columns for side-by-side
+// comparison in EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcsim/analysis/economics.hpp"
+#include "mcsim/analysis/experiments.hpp"
+#include "mcsim/util/table.hpp"
+
+namespace mcsim::analysis {
+
+/// Anchor values quoted in the paper for one provisioning-sweep row.
+struct PaperAnchor {
+  int processors = 0;
+  std::string note;  ///< e.g. "paper: $0.60, 5.5 h".
+};
+
+Table provisioningTable(const std::vector<ProvisioningPoint>& points,
+                        const std::vector<PaperAnchor>& anchors = {});
+
+Table dataModeTable(const std::vector<DataModeMetrics>& rows);
+
+Table ccrTable(const std::vector<CcrPoint>& points);
+
+/// Fig 10: one row per (workflow, mode) with CPU vs DM cost.
+struct CpuVsDmRow {
+  std::string workflow;
+  engine::DataMode mode;
+  Money cpuCost;
+  Money dmCost;
+  Money totalCost;
+};
+Table cpuVsDmTable(const std::vector<CpuVsDmRow>& rows);
+
+Table archiveEconomicsTable(const ArchiveEconomics& e);
+
+Table archivalDecisionTable(const std::vector<ArchivalDecision>& decisions,
+                            const std::vector<std::string>& labels);
+
+/// Render a money value as the tables do (exposed for tests).
+std::string moneyCell(Money m);
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,117 @@
+#include "mcsim/analysis/service.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "mcsim/analysis/experiments.hpp"
+#include "mcsim/util/rng.hpp"
+
+namespace mcsim::analysis {
+
+RequestProfile profileFromWorkflow(const dag::Workflow& wf,
+                                   Bytes productBytes,
+                                   const cloud::Pricing& pricing) {
+  const auto rows = dataModeComparison(wf, pricing);
+  const DataModeMetrics& regular = rows[1];
+  RequestProfile p;
+  p.name = wf.name();
+  p.costOnDemand = regular.totalCost();
+  p.costPreStaged = regular.totalCost() - regular.transferInCost;
+  p.costServeStored = pricing.transferOutCost(productBytes);
+  p.productBytes = productBytes;
+  return p;
+}
+
+const PolicyCost& ServiceCostReport::best() const {
+  const PolicyCost* winner = &recompute;
+  if (archiveInCloud.total < winner->total) winner = &archiveInCloud;
+  if (archivePlusCache.total < winner->total) winner = &archivePlusCache;
+  return *winner;
+}
+
+ServiceCostReport simulateServiceMonth(const std::vector<RequestProfile>& profiles,
+                                       Bytes archiveBytes,
+                                       const cloud::Pricing& pricing,
+                                       const ServiceWorkloadParams& params) {
+  if (profiles.empty())
+    throw std::invalid_argument("simulateServiceMonth: no request profiles");
+  if (!(params.requestsPerDay > 0.0))
+    throw std::invalid_argument("simulateServiceMonth: rate must be positive");
+  if (params.popularFraction < 0.0 || params.popularFraction > 1.0)
+    throw std::invalid_argument(
+        "simulateServiceMonth: popularFraction must be in [0,1]");
+  if (params.popularRegionCount < 1)
+    throw std::invalid_argument(
+        "simulateServiceMonth: need at least one popular region");
+
+  double totalWeight = 0.0;
+  for (const RequestProfile& p : profiles) {
+    if (p.weight < 0.0)
+      throw std::invalid_argument("simulateServiceMonth: negative weight");
+    totalWeight += p.weight;
+  }
+  if (totalWeight <= 0.0)
+    throw std::invalid_argument("simulateServiceMonth: zero total weight");
+
+  Rng rng(params.seed);
+  ServiceCostReport report;
+  report.archiveMonthlyCost =
+      pricing.storageCost(archiveBytes, kSecondsPerMonth);
+  report.recompute.policy = "recompute, stage per request";
+  report.archiveInCloud.policy = "archive in cloud";
+  report.archivePlusCache.policy = "archive + product cache";
+
+  // The archive storage fee applies to the horizon, pro-rated.
+  const double horizonMonths = params.horizonSeconds / kSecondsPerMonth;
+  const Money archiveFee = report.archiveMonthlyCost * horizonMonths;
+  report.archiveInCloud.total += archiveFee;
+  report.archivePlusCache.total += archiveFee;
+
+  std::map<std::pair<std::size_t, int>, bool> stored;
+  Bytes cachedBytes;
+  int uniqueRegion = 0;
+
+  const double meanGap = kSecondsPerDay / params.requestsPerDay;
+  for (double t = rng.exponential(meanGap); t < params.horizonSeconds;
+       t += rng.exponential(meanGap)) {
+    // Draw a profile by weight.
+    double roll = rng.uniformReal(0.0, totalWeight);
+    std::size_t profileIdx = 0;
+    for (; profileIdx + 1 < profiles.size(); ++profileIdx) {
+      roll -= profiles[profileIdx].weight;
+      if (roll < 0.0) break;
+    }
+    const RequestProfile& p = profiles[profileIdx];
+    const int region =
+        rng.chance(params.popularFraction)
+            ? static_cast<int>(
+                  rng.uniformInt(0, params.popularRegionCount - 1))
+            : -(++uniqueRegion);
+
+    ++report.requestCount;
+    report.recompute.total += p.costOnDemand;
+    report.archiveInCloud.total += p.costPreStaged;
+
+    const auto key = std::make_pair(profileIdx, region);
+    if (region >= 0 && stored[key]) {
+      report.archivePlusCache.total += p.costServeStored;
+      ++report.cacheHits;
+    } else {
+      report.archivePlusCache.total += p.costPreStaged;
+      if (region >= 0) {
+        stored[key] = true;
+        cachedBytes += p.productBytes;
+      }
+    }
+  }
+
+  // Cached products accrue storage for a configurable fraction of the
+  // horizon (they are produced throughout it).
+  report.cachedProductBytes = cachedBytes;
+  report.archivePlusCache.total += pricing.storageCost(
+      cachedBytes, params.horizonSeconds * params.cacheResidencyFraction);
+  return report;
+}
+
+}  // namespace mcsim::analysis

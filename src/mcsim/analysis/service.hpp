@@ -1,0 +1,82 @@
+// Service-operator economics: a month in the life of a mosaic service.
+//
+// Questions 2b and 3 ask whether an application serving a community should
+// (a) stage data per request, (b) host its input archive in the cloud, and
+// (c) archive popular products instead of recomputing them.  This module
+// plays a stochastic request stream against those three operating policies
+// and produces the monthly bill for each, turning the paper's break-even
+// arithmetic into a direct comparison under a concrete workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::analysis {
+
+/// Per-request costs for one product size (e.g. one mosaic size), typically
+/// derived from simulation via `profileFromWorkflow`.
+struct RequestProfile {
+  std::string name;
+  Money costOnDemand;    ///< Run the workflow, staging inputs from outside.
+  Money costPreStaged;   ///< Run the workflow with inputs already in cloud.
+  Money costServeStored; ///< Ship the archived product (transfer-out only).
+  Bytes productBytes;    ///< Size of the archived product.
+  double weight = 1.0;   ///< Relative request frequency.
+};
+
+/// Derive a profile from a simulated Regular-mode run of `wf` (usage
+/// billing, full parallelism): onDemand = total; preStaged = total minus
+/// stage-in; serveStored = transfer-out of `productBytes`.
+RequestProfile profileFromWorkflow(const dag::Workflow& wf,
+                                   Bytes productBytes,
+                                   const cloud::Pricing& pricing);
+
+struct ServiceWorkloadParams {
+  double requestsPerDay = 40.0;
+  double horizonSeconds = kSecondsPerMonth;
+  std::uint64_t seed = 42;
+  /// Fraction of requests that target one of `popularRegionCount` repeating
+  /// regions; the rest are one-off (never cache-hit).
+  double popularFraction = 0.7;
+  int popularRegionCount = 25;
+  /// Cached products are assumed resident for this fraction of the horizon
+  /// on average (they are created throughout the month).
+  double cacheResidencyFraction = 0.5;
+};
+
+struct PolicyCost {
+  std::string policy;
+  Money total;
+  Money perRequest(std::size_t requests) const {
+    return requests == 0 ? Money::zero()
+                         : total / static_cast<double>(requests);
+  }
+};
+
+struct ServiceCostReport {
+  std::size_t requestCount = 0;
+  std::size_t cacheHits = 0;
+  Money archiveMonthlyCost;        ///< Storage fee for the input archive.
+  PolicyCost recompute;            ///< Stage inputs per request, recompute.
+  PolicyCost archiveInCloud;       ///< Host the archive, recompute products.
+  PolicyCost archivePlusCache;     ///< Host archive + serve repeats from
+                                   ///< stored products.
+  Bytes cachedProductBytes;        ///< Products resident at month end.
+
+  /// The cheapest of the three policies.
+  const PolicyCost& best() const;
+};
+
+/// Simulate one billing horizon of Poisson-arriving requests drawn from
+/// `profiles` (by weight) and price the three policies.  Deterministic for
+/// a fixed seed.
+ServiceCostReport simulateServiceMonth(const std::vector<RequestProfile>& profiles,
+                                       Bytes archiveBytes,
+                                       const cloud::Pricing& pricing,
+                                       const ServiceWorkloadParams& params = {});
+
+}  // namespace mcsim::analysis

@@ -1,0 +1,20 @@
+#include "mcsim/cloud/billing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcsim::cloud {
+
+double billedSeconds(double actualSeconds, BillingGranularity granularity) {
+  if (actualSeconds < 0.0)
+    throw std::invalid_argument("billedSeconds: negative duration");
+  switch (granularity) {
+    case BillingGranularity::PerSecond:
+      return actualSeconds;
+    case BillingGranularity::PerHour:
+      return std::ceil(actualSeconds / kSecondsPerHour) * kSecondsPerHour;
+  }
+  throw std::logic_error("billedSeconds: unknown granularity");
+}
+
+}  // namespace mcsim::cloud

@@ -1,0 +1,57 @@
+#include "mcsim/cloud/storage.hpp"
+
+#include <stdexcept>
+
+namespace mcsim::cloud {
+
+StorageService::StorageService(sim::Simulator& sim, Bytes capacity)
+    : sim_(sim), capacity_(capacity) {
+  if (capacity.value() <= 0.0)
+    throw std::invalid_argument("StorageService: capacity must be positive");
+}
+
+void StorageService::put(std::uint64_t key, Bytes size) {
+  if (size.value() < 0.0)
+    throw std::invalid_argument("StorageService::put: negative size");
+  if (!objects_.emplace(key, size.value()).second)
+    throw std::logic_error("StorageService::put: key " + std::to_string(key) +
+                           " already resident");
+  if (residentBytes_ + size.value() > capacity_.value()) {
+    objects_.erase(key);
+    throw std::runtime_error("StorageService::put: capacity exceeded");
+  }
+  residentBytes_ += size.value();
+  curve_.add(sim_.now(), size);
+}
+
+void StorageService::erase(std::uint64_t key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end())
+    throw std::logic_error("StorageService::erase: key " +
+                           std::to_string(key) + " not resident");
+  residentBytes_ -= it->second;
+  curve_.remove(sim_.now(), Bytes(it->second));
+  objects_.erase(it);
+}
+
+bool StorageService::contains(std::uint64_t key) const {
+  return objects_.count(key) != 0;
+}
+
+Bytes StorageService::sizeOf(std::uint64_t key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end())
+    throw std::logic_error("StorageService::sizeOf: key " +
+                           std::to_string(key) + " not resident");
+  return Bytes(it->second);
+}
+
+double StorageService::byteSecondsUsed() const {
+  return curve_.integralByteSeconds(sim_.now());
+}
+
+double StorageService::gbHoursUsed() const {
+  return curve_.integralGBHours(sim_.now());
+}
+
+}  // namespace mcsim::cloud

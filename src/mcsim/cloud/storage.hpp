@@ -1,0 +1,58 @@
+// Cloud storage service (the S3 stand-in).
+//
+// Tracks which logical objects are resident, integrates the resident-bytes
+// curve over simulation time (the paper's GB-hours metric), and records the
+// peak footprint.  Capacity is infinite by default ("storage system with
+// infinite capacity", §5); a finite capacity can be configured for
+// storage-constrained what-ifs, in which case an over-commit throws (this
+// simulator never silently drops data).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "mcsim/sim/simulator.hpp"
+#include "mcsim/util/units.hpp"
+#include "mcsim/util/usage_curve.hpp"
+
+namespace mcsim::cloud {
+
+class StorageService {
+ public:
+  /// `capacity` defaults to unlimited.
+  explicit StorageService(
+      sim::Simulator& sim,
+      Bytes capacity = Bytes(std::numeric_limits<double>::infinity()));
+
+  /// An object lands on storage now.  `key` must not already be resident.
+  void put(std::uint64_t key, Bytes size);
+  /// Remove a resident object now.  Unknown keys throw.
+  void erase(std::uint64_t key);
+  /// True if the object is currently resident.
+  bool contains(std::uint64_t key) const;
+  /// Size of a resident object; throws if absent.
+  Bytes sizeOf(std::uint64_t key) const;
+
+  Bytes residentBytes() const { return Bytes(residentBytes_); }
+  std::size_t objectCount() const { return objects_.size(); }
+  Bytes peakBytes() const { return curve_.peak(); }
+
+  /// Area under the resident-bytes curve from t=0 to the current simulation
+  /// time, in byte-seconds (the quantity the storage fee applies to).
+  double byteSecondsUsed() const;
+  /// Same, in GB-hours (the paper's reporting unit).
+  double gbHoursUsed() const;
+
+  const UsageCurve& curve() const { return curve_; }
+
+ private:
+  sim::Simulator& sim_;
+  Bytes capacity_;
+  std::unordered_map<std::uint64_t, double> objects_;
+  double residentBytes_ = 0.0;
+  UsageCurve curve_;
+};
+
+}  // namespace mcsim::cloud

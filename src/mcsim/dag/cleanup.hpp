@@ -1,0 +1,47 @@
+// Pegasus-style dynamic-cleanup analysis (paper §3, "Dynamic cleanup";
+// Ramakrishnan et al. CCGrid'07 / Singh et al. SciProg'07).
+//
+// "In the dynamic cleanup mode, we delete files from the storage resource
+// when they are no longer required ... by performing an analysis of data use
+// at the workflow level."  The static plan computed here gives, for each
+// file, the set of tasks whose completion releases it; the engine turns that
+// into runtime reference counting.  The sequential footprint predictor is
+// the analytic cross-check for the simulated storage curves.
+#pragma once
+
+#include <vector>
+
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::dag {
+
+/// Static cleanup plan: per-file release conditions.
+struct CleanupPlan {
+  /// remainingUses[f]: number of task completions after which file f may be
+  /// deleted.  For a consumed file this is its consumer count; for a leaf
+  /// output it is 1 (its producer) but such files are workflow outputs and
+  /// are retained for stage-out instead of deletion.
+  std::vector<std::size_t> remainingUses;
+  /// isOutput[f]: file must survive until stage-out regardless of uses.
+  std::vector<bool> isOutput;
+};
+
+CleanupPlan analyzeCleanup(const Workflow& wf);
+
+/// Result of the analytic (non-simulated) footprint model.
+struct FootprintEstimate {
+  Bytes peakRegular;   ///< Peak resident bytes, no cleanup.
+  Bytes peakCleanup;   ///< Peak resident bytes with dynamic cleanup.
+};
+
+/// Predict peak storage footprints for a sequential execution in the given
+/// topological order, assuming all external inputs are staged in before the
+/// first task (the Regular-mode discipline).  Regular keeps everything until
+/// the end; Cleanup deletes each non-output file right after its last
+/// consumer completes.  Used by tests and by the planner to sanity-check the
+/// simulated curves (simulated cleanup footprint == analytic value for
+/// 1-processor runs).
+FootprintEstimate predictSequentialFootprint(const Workflow& wf,
+                                             const std::vector<TaskId>& order);
+
+}  // namespace mcsim::dag

@@ -1,0 +1,95 @@
+#include "mcsim/dag/merge.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace mcsim::dag {
+
+Workflow mergeWorkflows(const std::vector<Workflow>& parts,
+                        const std::string& name) {
+  if (parts.empty())
+    throw std::invalid_argument("mergeWorkflows: no parts");
+
+  // Choose prefixes: part names when unique, positional otherwise.
+  std::vector<std::string> prefixes;
+  {
+    std::set<std::string> seen;
+    bool unique = true;
+    for (const Workflow& part : parts)
+      unique = seen.insert(part.name()).second && unique;
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      prefixes.push_back((unique ? parts[i].name()
+                                 : "req" + std::to_string(i)) +
+                         "/");
+  }
+
+  Workflow merged(name);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Workflow& part = parts[i];
+    const std::string& prefix = prefixes[i];
+
+    std::vector<FileId> fileMap(part.fileCount());
+    for (const File& f : part.files())
+      fileMap[f.id] = merged.addFile(prefix + f.name, f.size);
+    std::vector<TaskId> taskMap(part.taskCount());
+    for (const Task& t : part.tasks())
+      taskMap[t.id] = merged.addTask(prefix + t.name, t.type,
+                                     t.runtimeSeconds);
+    for (const Task& t : part.tasks()) {
+      for (FileId in : t.inputs) merged.addInput(taskMap[t.id], fileMap[in]);
+      for (FileId out : t.outputs) merged.addOutput(taskMap[t.id], fileMap[out]);
+    }
+    for (const auto& [parent, child] : part.controlDependencies())
+      merged.addControlDependency(taskMap[parent], taskMap[child]);
+    for (const File& f : part.files())
+      if (f.explicitOutput) merged.markExplicitOutput(fileMap[f.id]);
+    for (const Task& t : part.tasks())
+      if (t.earliestStartSeconds > 0.0)
+        merged.setEarliestStart(taskMap[t.id], t.earliestStartSeconds);
+  }
+  merged.finalize();
+  return merged;
+}
+
+Workflow mergeWorkflowsStaggered(const std::vector<Workflow>& parts,
+                                 const std::vector<double>& releaseSeconds,
+                                 const std::string& name) {
+  if (releaseSeconds.size() != parts.size())
+    throw std::invalid_argument(
+        "mergeWorkflowsStaggered: one release time per part required");
+  Workflow merged = mergeWorkflows(parts, name);
+  const std::vector<TaskId> offsets = partTaskOffsets(parts);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (releaseSeconds[i] < 0.0)
+      throw std::invalid_argument(
+          "mergeWorkflowsStaggered: negative release time");
+    if (releaseSeconds[i] == 0.0) continue;
+    for (const Task& t : parts[i].tasks())
+      if (t.parents.empty())
+        merged.setEarliestStart(offsets[i] + t.id, releaseSeconds[i]);
+  }
+  return merged;
+}
+
+std::vector<TaskId> partTaskOffsets(const std::vector<Workflow>& parts) {
+  std::vector<TaskId> offsets;
+  offsets.reserve(parts.size() + 1);
+  TaskId cursor = 0;
+  for (const Workflow& part : parts) {
+    offsets.push_back(cursor);
+    cursor += static_cast<TaskId>(part.taskCount());
+  }
+  offsets.push_back(cursor);
+  return offsets;
+}
+
+Workflow replicateWorkflow(const Workflow& wf, int count,
+                           const std::string& name) {
+  if (count < 1)
+    throw std::invalid_argument("replicateWorkflow: count must be >= 1");
+  std::vector<Workflow> parts(static_cast<std::size_t>(count), wf);
+  // Force positional prefixes (identical names are not unique).
+  return mergeWorkflows(parts, name);
+}
+
+}  // namespace mcsim::dag

@@ -1,0 +1,236 @@
+#include "mcsim/dag/workflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace mcsim::dag {
+
+Workflow::Workflow(std::string name) : name_(std::move(name)) {}
+
+void Workflow::requireNotFinalized(const char* op) const {
+  if (finalized_)
+    throw std::logic_error(std::string("Workflow: ") + op +
+                           " after finalize()");
+}
+
+void Workflow::requireValidTask(TaskId id) const {
+  if (id >= tasks_.size())
+    throw std::out_of_range("Workflow: invalid task id " + std::to_string(id));
+}
+
+void Workflow::requireValidFile(FileId id) const {
+  if (id >= files_.size())
+    throw std::out_of_range("Workflow: invalid file id " + std::to_string(id));
+}
+
+TaskId Workflow::addTask(std::string name, std::string type,
+                         double runtimeSeconds) {
+  requireNotFinalized("addTask");
+  if (runtimeSeconds < 0.0)
+    throw std::invalid_argument("Workflow::addTask: negative runtime");
+  Task t;
+  t.id = static_cast<TaskId>(tasks_.size());
+  t.name = std::move(name);
+  t.type = std::move(type);
+  t.runtimeSeconds = runtimeSeconds;
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+FileId Workflow::addFile(std::string name, Bytes size) {
+  requireNotFinalized("addFile");
+  if (size.value() < 0.0)
+    throw std::invalid_argument("Workflow::addFile: negative size");
+  File f;
+  f.id = static_cast<FileId>(files_.size());
+  f.name = std::move(name);
+  f.size = size;
+  files_.push_back(std::move(f));
+  return files_.back().id;
+}
+
+void Workflow::addInput(TaskId task, FileId file) {
+  requireNotFinalized("addInput");
+  requireValidTask(task);
+  requireValidFile(file);
+  if (files_[file].producer == task)
+    throw std::invalid_argument("Workflow::addInput: task '" +
+                                tasks_[task].name + "' produces '" +
+                                files_[file].name + "'");
+  auto& ins = tasks_[task].inputs;
+  if (std::find(ins.begin(), ins.end(), file) != ins.end())
+    throw std::invalid_argument("Workflow::addInput: duplicate input binding");
+  ins.push_back(file);
+  files_[file].consumers.push_back(task);
+}
+
+void Workflow::addOutput(TaskId task, FileId file) {
+  requireNotFinalized("addOutput");
+  requireValidTask(task);
+  requireValidFile(file);
+  if (files_[file].producer != kNoTask)
+    throw std::invalid_argument("Workflow::addOutput: file '" +
+                                files_[file].name +
+                                "' already has a producer");
+  const auto& ins = tasks_[task].inputs;
+  if (std::find(ins.begin(), ins.end(), file) != ins.end())
+    throw std::invalid_argument("Workflow::addOutput: task '" +
+                                tasks_[task].name + "' consumes '" +
+                                files_[file].name + "'");
+  files_[file].producer = task;
+  tasks_[task].outputs.push_back(file);
+}
+
+void Workflow::addControlDependency(TaskId parent, TaskId child) {
+  requireNotFinalized("addControlDependency");
+  requireValidTask(parent);
+  requireValidTask(child);
+  if (parent == child)
+    throw std::invalid_argument("Workflow: self control dependency");
+  controlEdges_.emplace_back(parent, child);
+}
+
+void Workflow::markExplicitOutput(FileId file) {
+  requireValidFile(file);
+  files_[file].explicitOutput = true;
+}
+
+void Workflow::finalize() {
+  if (finalized_) return;
+
+  // Derive edges: file producer -> each consumer, plus explicit control
+  // edges.  Collect into per-task sets to deduplicate (a parent may feed a
+  // child several files).
+  std::vector<std::unordered_set<TaskId>> parentSets(tasks_.size());
+  for (const File& f : files_) {
+    if (f.producer == kNoTask) continue;
+    for (TaskId consumer : f.consumers) {
+      if (consumer == f.producer)
+        throw std::logic_error("Workflow: task '" + tasks_[consumer].name +
+                               "' both produces and consumes '" + f.name + "'");
+      parentSets[consumer].insert(f.producer);
+    }
+  }
+  for (const auto& [parent, child] : controlEdges_)
+    parentSets[child].insert(parent);
+
+  for (Task& t : tasks_) {
+    t.parents.assign(parentSets[t.id].begin(), parentSets[t.id].end());
+    std::sort(t.parents.begin(), t.parents.end());
+    t.children.clear();
+  }
+  for (const Task& t : tasks_)
+    for (TaskId p : t.parents) tasks_[p].children.push_back(t.id);
+  for (Task& t : tasks_) std::sort(t.children.begin(), t.children.end());
+
+  // Kahn's algorithm: validates acyclicity and yields levels in one pass
+  // (paper definition: sources are level 1; otherwise 1 + max parent level).
+  std::vector<std::size_t> pendingParents(tasks_.size());
+  std::deque<TaskId> ready;
+  for (Task& t : tasks_) {
+    pendingParents[t.id] = t.parents.size();
+    t.level = 1;
+    if (t.parents.empty()) ready.push_back(t.id);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    ++visited;
+    const Task& t = tasks_[id];
+    for (TaskId c : t.children) {
+      tasks_[c].level = std::max(tasks_[c].level, t.level + 1);
+      if (--pendingParents[c] == 0) ready.push_back(c);
+    }
+  }
+  if (visited != tasks_.size())
+    throw std::logic_error("Workflow '" + name_ + "' contains a cycle");
+
+  finalized_ = true;
+}
+
+void Workflow::setFileSize(FileId file, Bytes size) {
+  requireValidFile(file);
+  if (size.value() < 0.0)
+    throw std::invalid_argument("Workflow::setFileSize: negative size");
+  files_[file].size = size;
+}
+
+void Workflow::scaleAllFileSizes(double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("Workflow::scaleAllFileSizes: factor must be > 0");
+  for (File& f : files_) f.size *= factor;
+}
+
+void Workflow::setEarliestStart(TaskId task, double seconds) {
+  requireValidTask(task);
+  if (seconds < 0.0)
+    throw std::invalid_argument("Workflow::setEarliestStart: negative time");
+  tasks_[task].earliestStartSeconds = seconds;
+}
+
+void Workflow::scaleAllRuntimes(double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("Workflow::scaleAllRuntimes: factor must be > 0");
+  for (Task& t : tasks_) t.runtimeSeconds *= factor;
+}
+
+std::vector<FileId> Workflow::externalInputs() const {
+  std::vector<FileId> out;
+  for (const File& f : files_)
+    if (f.producer == kNoTask) out.push_back(f.id);
+  return out;
+}
+
+std::vector<FileId> Workflow::workflowOutputs() const {
+  std::vector<FileId> out;
+  for (const File& f : files_)
+    if (f.explicitOutput || (f.consumers.empty() && f.producer != kNoTask))
+      out.push_back(f.id);
+  return out;
+}
+
+double Workflow::totalRuntimeSeconds() const {
+  double total = 0.0;
+  for (const Task& t : tasks_) total += t.runtimeSeconds;
+  return total;
+}
+
+Bytes Workflow::totalFileBytes() const {
+  Bytes total;
+  for (const File& f : files_) total += f.size;
+  return total;
+}
+
+Bytes Workflow::externalInputBytes() const {
+  Bytes total;
+  for (const File& f : files_)
+    if (f.producer == kNoTask) total += f.size;
+  return total;
+}
+
+Bytes Workflow::workflowOutputBytes() const {
+  Bytes total;
+  for (FileId id : workflowOutputs()) total += files_[id].size;
+  return total;
+}
+
+double Workflow::ccr(double bandwidthBytesPerSecond) const {
+  if (!(bandwidthBytesPerSecond > 0.0))
+    throw std::invalid_argument("Workflow::ccr: bandwidth must be positive");
+  const double compute = totalRuntimeSeconds();
+  if (compute == 0.0)
+    throw std::logic_error("Workflow::ccr: zero total runtime");
+  return (totalFileBytes().value() / bandwidthBytesPerSecond) / compute;
+}
+
+int Workflow::levelCount() const {
+  int maxLevel = 0;
+  for (const Task& t : tasks_) maxLevel = std::max(maxLevel, t.level);
+  return maxLevel;
+}
+
+}  // namespace mcsim::dag

@@ -1,0 +1,141 @@
+// Workflow DAG model: tasks, files, and the data dependencies between them.
+//
+// Matches the paper's abstraction (§2): vertices are tasks, edges are data
+// dependencies; every file has at most one producer task and any number of
+// consumers; files with no producer are the workflow's external inputs
+// (initially "co-located with the application", §5) and files with no
+// consumer are the net outputs staged back to the user.  Task levels follow
+// the paper's definition: tasks with no parents are level 1; any other
+// task's level is one plus the maximum level of its parents.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mcsim/util/units.hpp"
+
+namespace mcsim::dag {
+
+using TaskId = std::uint32_t;
+using FileId = std::uint32_t;
+
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/// A logical file flowing through the workflow.
+struct File {
+  FileId id = 0;
+  std::string name;
+  Bytes size;
+  TaskId producer = kNoTask;     ///< kNoTask: external input.
+  std::vector<TaskId> consumers; ///< Tasks that read this file.
+  /// True if the file must be delivered to the user at workflow end.  By
+  /// default every file without consumers is an output; producers of
+  /// consumed files can additionally be flagged (e.g. a preview JPEG that a
+  /// later task also reads).
+  bool explicitOutput = false;
+};
+
+/// One executable task (a vertex of the DAG).
+struct Task {
+  TaskId id = 0;
+  std::string name;        ///< Unique instance name, e.g. "mProject_0017".
+  std::string type;        ///< Routine name, e.g. "mProject" (paper: all
+                           ///< tasks at a level invoke the same routine).
+  double runtimeSeconds = 0.0;  ///< On the reference CPU (paper's r(v)).
+  std::vector<FileId> inputs;
+  std::vector<FileId> outputs;
+  /// Earliest time (seconds from run start) this task may begin — models a
+  /// request arriving at a running service.  0 = available immediately.
+  double earliestStartSeconds = 0.0;
+  // Derived by finalize():
+  std::vector<TaskId> parents;
+  std::vector<TaskId> children;
+  int level = 0;  ///< Paper's level; 1-based.  0 until finalize().
+};
+
+/// A complete workflow.  Build with addTask/addFile/bind calls, then call
+/// finalize() to derive the task graph, validate acyclicity and compute
+/// levels.  Structural mutation after finalize() throws; file sizes may be
+/// rescaled at any time (CCR experiments change only sizes).
+class Workflow {
+ public:
+  explicit Workflow(std::string name);
+
+  // -- construction ---------------------------------------------------------
+  TaskId addTask(std::string name, std::string type, double runtimeSeconds);
+  FileId addFile(std::string name, Bytes size);
+  /// Declare `file` as an input of `task`.
+  void addInput(TaskId task, FileId file);
+  /// Declare `file` as an output of `task`.  A file may have at most one
+  /// producer; a second producer throws.
+  void addOutput(TaskId task, FileId file);
+  /// Add an explicit control dependency (parent must finish before child
+  /// starts) that is not mediated by a file.
+  void addControlDependency(TaskId parent, TaskId child);
+  /// Flag a consumed file as nonetheless being a user-visible output.
+  void markExplicitOutput(FileId file);
+
+  /// Derive parents/children from data flow plus control edges, de-duplicate,
+  /// verify the graph is acyclic, and compute levels.  Idempotent.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- size mutation (allowed post-finalize) --------------------------------
+  void setFileSize(FileId file, Bytes size);
+  /// Multiply every file size by `factor` (> 0) — the paper's CCR knob.
+  void scaleAllFileSizes(double factor);
+  /// Multiply every task runtime by `factor` (> 0) — used by workload
+  /// calibration.  Structure (and levels) are unaffected.
+  void scaleAllRuntimes(double factor);
+  /// Set a task's release time (>= 0).  Allowed post-finalize.
+  void setEarliestStart(TaskId task, double seconds);
+
+  // -- accessors -------------------------------------------------------------
+  const std::string& name() const { return name_; }
+  std::size_t taskCount() const { return tasks_.size(); }
+  std::size_t fileCount() const { return files_.size(); }
+  const Task& task(TaskId id) const { return tasks_.at(id); }
+  const File& file(FileId id) const { return files_.at(id); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<File>& files() const { return files_; }
+
+  /// Files with no producer: staged in from the user/archive.
+  std::vector<FileId> externalInputs() const;
+  /// Files delivered to the user: no consumers, or explicitly flagged.
+  std::vector<FileId> workflowOutputs() const;
+
+  /// Σ r(v) over all tasks, in seconds.
+  double totalRuntimeSeconds() const;
+  /// Σ s(f) over all files (the paper's CCR numerator before dividing by B).
+  Bytes totalFileBytes() const;
+  Bytes externalInputBytes() const;
+  Bytes workflowOutputBytes() const;
+
+  /// The paper's communication-to-computation ratio:
+  ///   CCR = (Σ s(f) / B) / Σ r(v)   with B in bytes/second.
+  double ccr(double bandwidthBytesPerSecond) const;
+
+  /// Highest level value (the number of levels).
+  int levelCount() const;
+
+  /// Explicit control-only edges as added (for serialization).
+  const std::vector<std::pair<TaskId, TaskId>>& controlDependencies() const {
+    return controlEdges_;
+  }
+
+ private:
+  void requireNotFinalized(const char* op) const;
+  void requireValidTask(TaskId id) const;
+  void requireValidFile(FileId id) const;
+
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<File> files_;
+  std::vector<std::pair<TaskId, TaskId>> controlEdges_;
+  bool finalized_ = false;
+};
+
+}  // namespace mcsim::dag

@@ -1,0 +1,490 @@
+#include "mcsim/engine/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include <limits>
+#include <optional>
+
+#include "mcsim/cloud/storage.hpp"
+#include "mcsim/dag/cleanup.hpp"
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/sim/simulator.hpp"
+#include "mcsim/util/rng.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+using dag::FileId;
+using dag::TaskId;
+using dag::Workflow;
+
+/// One simulated execution.  Owns the simulator, link and storage for its
+/// lifetime; `execute()` drives the event loop to completion and extracts
+/// the metrics.
+class Run {
+ public:
+  Run(const Workflow& wf, const EngineConfig& cfg)
+      : wf_(wf),
+        cfg_(cfg),
+        plan_(dag::analyzeCleanup(wf)),
+        link_(sim_, cfg.linkBandwidthBytesPerSec, cfg.linkSharing),
+        storage_(sim_, cfg.storageCapacityBytes > 0.0
+                           ? Bytes(cfg.storageCapacityBytes)
+                           : Bytes(std::numeric_limits<double>::infinity())) {
+    if (cfg.taskFailureProbability > 0.0) failureRng_.emplace(cfg.failureSeed);
+  }
+
+  /// Argument validation, ahead of any member construction that assumes a
+  /// well-formed workflow/config.
+  static void validate(const Workflow& wf, const EngineConfig& cfg) {
+    if (!wf.finalized())
+      throw std::invalid_argument("simulateWorkflow: workflow not finalized");
+    if (cfg.processors < 1)
+      throw std::invalid_argument("simulateWorkflow: processors must be >= 1");
+    if (cfg.vmStartupSeconds < 0.0 || cfg.vmTeardownSeconds < 0.0)
+      throw std::invalid_argument("simulateWorkflow: negative VM overhead");
+    if (cfg.storageCapacityBytes < 0.0)
+      throw std::invalid_argument("simulateWorkflow: negative storage capacity");
+    if (cfg.taskFailureProbability < 0.0 || cfg.taskFailureProbability >= 1.0)
+      throw std::invalid_argument(
+          "simulateWorkflow: task failure probability must be in [0, 1)");
+  }
+
+  ExecutionResult execute() {
+    prepare();
+    scheduleOutages();
+    sim_.schedule(cfg_.vmStartupSeconds, [this] { begin(); });
+    sim_.run();
+    if (!finished_) {
+      if (!blocked_.empty())
+        throw std::runtime_error(
+            "simulateWorkflow: deadlock -- " + std::to_string(blocked_.size()) +
+            " task(s) blocked on storage capacity with nothing left to free "
+            "(regular mode frees no space mid-run; use DynamicCleanup or "
+            "raise storageCapacityBytes)");
+      throw std::logic_error(
+          "simulateWorkflow: simulation drained without completing the "
+          "workflow (engine bug)");
+    }
+
+    result_.mode = cfg_.mode;
+    result_.processors = cfg_.processors;
+    result_.makespanSeconds = endTime_ + cfg_.vmTeardownSeconds;
+    result_.processorBusySeconds = busyIntegral_;
+    result_.storageByteSeconds = storage_.curve().integralByteSeconds(endTime_);
+    result_.peakStorageBytes = storage_.peakBytes();
+    result_.storageCurve = storage_.curve();
+    return result_;
+  }
+
+ private:
+  // -- setup ------------------------------------------------------------------
+  void prepare() {
+    const std::size_t nTasks = wf_.taskCount();
+    waitCount_.assign(nTasks, 0);
+    remainingUses_ = plan_.remainingUses;
+
+    isExternal_.assign(wf_.fileCount(), false);
+    for (FileId f : wf_.externalInputs()) isExternal_[f] = true;
+
+    for (const dag::Task& t : wf_.tasks()) {
+      std::size_t waits = t.parents.size();
+      if (cfg_.mode != DataMode::RemoteIO) {
+        for (FileId f : t.inputs)
+          if (isExternal_[f]) ++waits;
+      }
+      if (t.earliestStartSeconds > 0.0) ++waits;  // released by timer
+      waitCount_[t.id] = waits;
+    }
+
+    if (cfg_.scheduler == SchedulerPolicy::CriticalPathFirst) {
+      // Upward rank: runtime + max child rank, computed sinks-first.
+      upwardRank_.assign(nTasks, 0.0);
+      const auto order = dag::topologicalOrder(wf_);
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const dag::Task& t = wf_.task(*it);
+        double best = 0.0;
+        for (TaskId c : t.children) best = std::max(best, upwardRank_[c]);
+        upwardRank_[*it] = t.runtimeSeconds + best;
+      }
+    }
+
+    freeProcessors_ = cfg_.processors;
+    tasksRemaining_ = nTasks;
+    if (cfg_.trace) result_.taskRecords.resize(nTasks);
+  }
+
+  void scheduleOutages() {
+    for (const Outage& o : cfg_.outages) {
+      if (o.startSeconds < 0.0 || o.durationSeconds < 0.0)
+        throw std::invalid_argument("simulateWorkflow: negative outage bounds");
+      sim_.schedule(o.startSeconds, [this] { link_.suspend(); });
+      sim_.schedule(o.startSeconds + o.durationSeconds,
+                    [this] { link_.resume(); });
+    }
+  }
+
+  // -- common machinery --------------------------------------------------------
+  void accrueBusy() {
+    busyIntegral_ += static_cast<double>(busyCount_) * (sim_.now() - busyLast_);
+    busyLast_ = sim_.now();
+  }
+  void claimProcessor() {
+    accrueBusy();
+    ++busyCount_;
+    --freeProcessors_;
+  }
+  void releaseProcessor() {
+    accrueBusy();
+    --busyCount_;
+    ++freeProcessors_;
+  }
+
+  void begin() {
+    busyLast_ = sim_.now();
+    if (tasksRemaining_ == 0) {
+      beginStageOut();
+      return;
+    }
+    // Release-time gates: the extra wait added in prepare() drops when the
+    // request "arrives".
+    for (const dag::Task& t : wf_.tasks()) {
+      if (t.earliestStartSeconds <= 0.0) continue;
+      sim_.scheduleAfter(t.earliestStartSeconds, [this, id = t.id] {
+        if (--waitCount_[id] == 0) markReady(id);
+      });
+    }
+    if (cfg_.mode != DataMode::RemoteIO) {
+      // Stage in every external input concurrently over the shared link.
+      // Under a capacity cap the whole stage-in volume is reserved up
+      // front: these bytes *will* arrive regardless of scheduling, so task
+      // admission must leave room for them or later arrivals would
+      // overflow.
+      if (cfg_.storageCapacityBytes > 0.0)
+        reservedBytes_ += wf_.externalInputBytes().value();
+      for (FileId f : wf_.externalInputs()) {
+        const Bytes size = wf_.file(f).size;
+        link_.startTransfer(size, [this, f, size] {
+          result_.bytesIn += size;
+          ++result_.transfersIn;
+          if (cfg_.storageCapacityBytes > 0.0)
+            reservedBytes_ -= size.value();
+          try {
+            storage_.put(f, size);
+          } catch (const std::runtime_error&) {
+            throw std::runtime_error(
+                "simulateWorkflow: stage-in overflow -- storage capacity is "
+                "too small for the workflow's external inputs ('" +
+                wf_.file(f).name + "' does not fit)");
+          }
+          onExternalFileArrived(f);
+        });
+      }
+    }
+    // Tasks with no waits (sources without external inputs in regular mode;
+    // all sources in remote mode) are ready immediately.
+    for (const dag::Task& t : wf_.tasks())
+      if (waitCount_[t.id] == 0) markReady(t.id);
+  }
+
+  void onExternalFileArrived(FileId f) {
+    for (TaskId consumer : wf_.file(f).consumers) {
+      if (--waitCount_[consumer] == 0) markReady(consumer);
+    }
+    // An external file no task reads (possible in hand-built workflows) just
+    // sits on storage until the end-of-run sweep.
+  }
+
+  void markReady(TaskId id) {
+    if (cfg_.trace) result_.taskRecords[id].readyTime = sim_.now();
+    const double rank = cfg_.scheduler == SchedulerPolicy::CriticalPathFirst
+                            ? upwardRank_[id]
+                            : 0.0;
+    ready_.push(ReadyEntry{rank, readySeq_++, id});
+    scheduleDispatch();
+  }
+
+  /// Run dispatch() as a same-timestamp event, coalescing multiple requests.
+  /// Deferring matters for scheduling policy: every task that becomes ready
+  /// at this instant must be in the queue before processors are assigned,
+  /// or priority ordering degenerates to arrival order.
+  void scheduleDispatch() {
+    if (dispatchScheduled_) return;
+    dispatchScheduled_ = true;
+    sim_.scheduleAfter(0.0, [this] {
+      dispatchScheduled_ = false;
+      dispatch();
+    });
+  }
+
+  /// Bytes the task will add to storage while it runs.
+  double storageDemand(TaskId id) const {
+    const dag::Task& t = wf_.task(id);
+    double needed = 0.0;
+    if (cfg_.mode == DataMode::RemoteIO)
+      for (FileId f : t.inputs) needed += wf_.file(f).size.value();
+    for (FileId f : t.outputs) needed += wf_.file(f).size.value();
+    return needed;
+  }
+
+  bool fitsOnStorage(TaskId id) const {
+    if (cfg_.storageCapacityBytes <= 0.0) return true;
+    // Count both resident bytes and reservations of admitted-but-not-yet-
+    // materialized tasks, or same-instant dispatches would over-commit.
+    return storage_.residentBytes().value() + reservedBytes_ +
+               storageDemand(id) <=
+           cfg_.storageCapacityBytes + 1e-6;
+  }
+
+  void dispatch() {
+    while (freeProcessors_ > 0 && !ready_.empty()) {
+      const ReadyEntry entry = ready_.top();
+      ready_.pop();
+      if (!fitsOnStorage(entry.id)) {
+        // Defer until space frees up; backfill with later ready tasks.
+        blocked_.push_back(entry);
+        ++result_.tasksEverBlocked;
+        continue;
+      }
+      if (cfg_.storageCapacityBytes > 0.0)
+        reservedBytes_ += storageDemand(entry.id);
+      claimProcessor();
+      if (cfg_.trace) result_.taskRecords[entry.id].startTime = sim_.now();
+      if (cfg_.mode == DataMode::RemoteIO) startRemote(entry.id);
+      else startRegular(entry.id);
+    }
+  }
+
+  /// Storage was freed: give every blocked task another chance, preserving
+  /// its original priority/sequence.
+  void unblock() {
+    if (blocked_.empty()) return;
+    for (const ReadyEntry& entry : blocked_) ready_.push(entry);
+    blocked_.clear();
+    scheduleDispatch();
+  }
+
+  /// Dependency bookkeeping after a task is fully complete.
+  void completeTask(TaskId id) {
+    if (cfg_.trace) result_.taskRecords[id].finishTime = sim_.now();
+    ++result_.tasksExecuted;
+    releaseProcessor();
+    for (TaskId c : wf_.task(id).children)
+      if (--waitCount_[c] == 0) markReady(c);
+    if (--tasksRemaining_ == 0) beginStageOut();
+    scheduleDispatch();
+  }
+
+  // -- regular / cleanup path ---------------------------------------------------
+  void startRegular(TaskId id) {
+    const dag::Task& t = wf_.task(id);
+    if (cfg_.trace) result_.taskRecords[id].execStart = sim_.now();
+    sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRegular(id); });
+  }
+
+  /// Failure injection: true if this completion attempt fails and the task
+  /// re-executes (the wasted runtime is billed and counted).
+  bool attemptFails(TaskId id, void (Run::*retry)(TaskId)) {
+    const dag::Task& t = wf_.task(id);
+    if (!failureRng_ || !failureRng_->chance(cfg_.taskFailureProbability))
+      return false;
+    result_.cpuBusySeconds += t.runtimeSeconds;  // the failed attempt
+    ++result_.taskRetries;
+    sim_.scheduleAfter(t.runtimeSeconds,
+                       [this, id, retry] { (this->*retry)(id); });
+    return true;
+  }
+
+  void finishRegular(TaskId id) {
+    if (attemptFails(id, &Run::finishRegular)) return;
+    const dag::Task& t = wf_.task(id);
+    result_.cpuBusySeconds += t.runtimeSeconds;
+    for (FileId f : t.outputs) storage_.put(f, wf_.file(f).size);
+    if (cfg_.storageCapacityBytes > 0.0)
+      reservedBytes_ -= storageDemand(id);  // materialized: now counted as
+                                            // resident instead
+    bool freed = false;
+    if (cfg_.mode == DataMode::DynamicCleanup) {
+      for (FileId f : t.inputs) {
+        if (remainingUses_[f] == 0)
+          throw std::logic_error("engine: cleanup refcount underflow");
+        if (--remainingUses_[f] == 0 && !plan_.isOutput[f]) {
+          storage_.erase(f);
+          freed = true;
+        }
+      }
+    }
+    if (freed) unblock();
+    completeTask(id);
+  }
+
+  // -- remote I/O path -----------------------------------------------------------
+  // Residency follows the paper's accounting ("the files are present on the
+  // resource only during the execution of the current task", Fig 7): inputs
+  // occupy storage from execution start until execution end; each output
+  // occupies storage from execution end until its own stage-out completes.
+  void startRemote(TaskId id) {
+    const dag::Task& t = wf_.task(id);
+    pendingIo_[id] = t.inputs.size();
+    if (t.inputs.empty()) {
+      execRemote(id);
+      return;
+    }
+    for (FileId f : t.inputs) {
+      const Bytes size = wf_.file(f).size;
+      link_.startTransfer(size, [this, id, size] {
+        result_.bytesIn += size;
+        ++result_.transfersIn;
+        if (--pendingIo_[id] == 0) execRemote(id);
+      });
+    }
+  }
+
+  void execRemote(TaskId id) {
+    const dag::Task& t = wf_.task(id);
+    if (cfg_.trace) result_.taskRecords[id].execStart = sim_.now();
+    auto& keys = remoteKeys_[id];
+    keys.clear();
+    for (FileId f : t.inputs) {
+      const std::uint64_t key = nextObjectKey_++;
+      storage_.put(key, wf_.file(f).size);
+      keys.push_back(key);
+    }
+    sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRemote(id); });
+  }
+
+  void finishRemote(TaskId id) {
+    if (attemptFails(id, &Run::finishRemote)) return;
+    const dag::Task& t = wf_.task(id);
+    result_.cpuBusySeconds += t.runtimeSeconds;
+    for (std::uint64_t key : remoteKeys_[id]) storage_.erase(key);
+    if (cfg_.storageCapacityBytes > 0.0)
+      reservedBytes_ -= storageDemand(id);  // outputs materialize below
+    if (!t.inputs.empty()) unblock();
+    remoteKeys_.erase(id);
+    pendingIo_[id] = t.outputs.size();
+    if (t.outputs.empty()) {
+      teardownRemote(id);
+      return;
+    }
+    for (FileId f : t.outputs) {
+      const Bytes size = wf_.file(f).size;
+      const std::uint64_t key = nextObjectKey_++;
+      storage_.put(key, size);
+      link_.startTransfer(size, [this, id, key, size] {
+        result_.bytesOut += size;
+        ++result_.transfersOut;
+        storage_.erase(key);
+        unblock();
+        if (--pendingIo_[id] == 0) teardownRemote(id);
+      });
+    }
+  }
+
+  void teardownRemote(TaskId id) {
+    pendingIo_.erase(id);
+    completeTask(id);
+  }
+
+  // -- final stage-out -------------------------------------------------------------
+  void beginStageOut() {
+    if (cfg_.mode == DataMode::RemoteIO) {
+      // Every task already delivered its outputs to the user site.
+      finish();
+      return;
+    }
+    const auto outputs = wf_.workflowOutputs();
+    pendingStageOut_ = outputs.size();
+    if (pendingStageOut_ == 0) {
+      sweepStorageAndFinish();
+      return;
+    }
+    for (FileId f : outputs) {
+      const Bytes size = wf_.file(f).size;
+      link_.startTransfer(size, [this, size] {
+        result_.bytesOut += size;
+        ++result_.transfersOut;
+        if (--pendingStageOut_ == 0) sweepStorageAndFinish();
+      });
+    }
+  }
+
+  void sweepStorageAndFinish() {
+    // "After that ... all the files are deleted from the storage resource."
+    for (FileId f = 0; f < static_cast<FileId>(wf_.fileCount()); ++f)
+      if (storage_.contains(f)) storage_.erase(f);
+    finish();
+  }
+
+  void finish() {
+    accrueBusy();
+    finished_ = true;
+    endTime_ = sim_.now();
+  }
+
+  // -- data -------------------------------------------------------------------------
+  struct ReadyEntry {
+    double rank;
+    std::uint64_t sequence;
+    TaskId id;
+  };
+  struct WorseReady {
+    bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+      if (a.rank != b.rank) return a.rank < b.rank;  // higher rank first
+      return a.sequence > b.sequence;                // then FIFO
+    }
+  };
+
+  const Workflow& wf_;
+  const EngineConfig& cfg_;
+  dag::CleanupPlan plan_;
+
+  sim::Simulator sim_;
+  sim::Link link_;
+  cloud::StorageService storage_;
+
+  std::vector<std::size_t> waitCount_;
+  std::vector<std::size_t> remainingUses_;
+  std::vector<bool> isExternal_;
+  std::vector<double> upwardRank_;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, WorseReady> ready_;
+  std::uint64_t readySeq_ = 0;
+  bool dispatchScheduled_ = false;
+  int freeProcessors_ = 0;
+  std::size_t tasksRemaining_ = 0;
+  std::size_t pendingStageOut_ = 0;
+
+  /// Remote I/O: per-task in-flight transfer counts and the storage keys of
+  /// the task's resident input objects (unique per use, since two tasks may
+  /// stage the same logical file concurrently).
+  std::unordered_map<TaskId, std::size_t> pendingIo_;
+  std::unordered_map<TaskId, std::vector<std::uint64_t>> remoteKeys_;
+  std::uint64_t nextObjectKey_ = 1ull << 32;
+
+  std::vector<ReadyEntry> blocked_;  ///< Ready but waiting for storage space.
+  double reservedBytes_ = 0.0;       ///< Admitted tasks' unmaterialized bytes.
+  std::optional<Rng> failureRng_;
+
+  int busyCount_ = 0;
+  double busyIntegral_ = 0.0;
+  double busyLast_ = 0.0;
+
+  bool finished_ = false;
+  double endTime_ = 0.0;
+  ExecutionResult result_;
+};
+
+}  // namespace
+
+ExecutionResult simulateWorkflow(const dag::Workflow& workflow,
+                                 const EngineConfig& config) {
+  Run::validate(workflow, config);
+  Run run(workflow, config);
+  return run.execute();
+}
+
+}  // namespace mcsim::engine

@@ -1,0 +1,104 @@
+#include "mcsim/engine/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mcsim/util/table.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+void requireTrace(const ExecutionResult& result, const char* fn) {
+  if (result.taskRecords.empty())
+    throw std::invalid_argument(std::string(fn) +
+                                ": result was not traced (EngineConfig::trace)");
+}
+
+std::string fixed1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+void printLevelSummary(std::ostream& os, const dag::Workflow& wf,
+                       const ExecutionResult& result) {
+  requireTrace(result, "printLevelSummary");
+  struct LevelStats {
+    std::size_t tasks = 0;
+    double firstStart = 1e300;
+    double lastFinish = 0.0;
+    double cpuSeconds = 0.0;
+    std::string routine;
+  };
+  std::map<int, LevelStats> levels;
+  for (const dag::Task& t : wf.tasks()) {
+    LevelStats& s = levels[t.level];
+    const TaskRecord& r = result.taskRecords[t.id];
+    ++s.tasks;
+    s.firstStart = std::min(s.firstStart, r.startTime);
+    s.lastFinish = std::max(s.lastFinish, r.finishTime);
+    s.cpuSeconds += t.runtimeSeconds;
+    if (s.routine.empty()) s.routine = t.type;
+    else if (s.routine != t.type) s.routine = "(mixed)";
+  }
+  Table table({"level", "routine", "tasks", "first start", "last finish",
+               "cpu time"});
+  for (const auto& [level, s] : levels) {
+    table.addRow({std::to_string(level), s.routine, std::to_string(s.tasks),
+                  formatDuration(s.firstStart), formatDuration(s.lastFinish),
+                  formatDuration(s.cpuSeconds)});
+  }
+  table.print(os);
+}
+
+void printGantt(std::ostream& os, const dag::Workflow& wf,
+                const ExecutionResult& result, std::size_t maxRows,
+                std::size_t width) {
+  requireTrace(result, "printGantt");
+  if (width < 8) width = 8;
+  const double span = std::max(result.makespanSeconds, 1e-9);
+  std::vector<dag::TaskId> byStart(wf.taskCount());
+  for (std::size_t i = 0; i < byStart.size(); ++i)
+    byStart[i] = static_cast<dag::TaskId>(i);
+  std::sort(byStart.begin(), byStart.end(), [&](dag::TaskId a, dag::TaskId b) {
+    return result.taskRecords[a].startTime < result.taskRecords[b].startTime;
+  });
+  const std::size_t rows = std::min(maxRows, byStart.size());
+  const std::size_t step = std::max<std::size_t>(1, byStart.size() / rows);
+  os << "gantt (" << rows << " of " << byStart.size() << " tasks, span "
+     << formatDuration(span) << ")\n";
+  for (std::size_t i = 0; i < byStart.size(); i += step) {
+    const dag::TaskId id = byStart[i];
+    const TaskRecord& r = result.taskRecords[id];
+    std::string row(width, '.');
+    auto col = [&](double t) {
+      return std::min(width - 1,
+                      static_cast<std::size_t>(t / span * (width - 1)));
+    };
+    const std::size_t a = col(std::max(0.0, r.startTime));
+    const std::size_t b = col(std::max(0.0, r.finishTime));
+    for (std::size_t c = a; c <= b; ++c) row[c] = '#';
+    os << row << "  " << wf.task(id).name << '\n';
+  }
+}
+
+std::string summarize(const dag::Workflow& wf, const ExecutionResult& result) {
+  std::ostringstream os;
+  os << wf.name() << " [" << dataModeName(result.mode) << ", "
+     << result.processors << " proc]: makespan "
+     << formatDuration(result.makespanSeconds) << ", cpu "
+     << formatDuration(result.cpuBusySeconds) << ", in "
+     << formatBytes(result.bytesIn) << ", out " << formatBytes(result.bytesOut)
+     << ", storage " << fixed1(result.storageGBHours()) << " GB-h, peak "
+     << formatBytes(result.peakStorageBytes) << ", utilization "
+     << fixed1(result.utilization() * 100.0) << "%";
+  return os.str();
+}
+
+}  // namespace mcsim::engine

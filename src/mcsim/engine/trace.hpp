@@ -1,0 +1,26 @@
+// Human-readable rendering of a traced execution: a per-level summary and a
+// text Gantt chart.  Used by the examples and by failure-diagnosis in tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/metrics.hpp"
+
+namespace mcsim::engine {
+
+/// Per-level timing/throughput summary (requires a traced result).
+void printLevelSummary(std::ostream& os, const dag::Workflow& wf,
+                       const ExecutionResult& result);
+
+/// A coarse text Gantt chart: one row per task (capped at `maxRows`),
+/// `width` columns spanning the makespan.  Requires a traced result.
+void printGantt(std::ostream& os, const dag::Workflow& wf,
+                const ExecutionResult& result, std::size_t maxRows = 40,
+                std::size_t width = 72);
+
+/// One-paragraph summary of a run (works without tracing).
+std::string summarize(const dag::Workflow& wf, const ExecutionResult& result);
+
+}  // namespace mcsim::engine

@@ -1,0 +1,112 @@
+#include "mcsim/engine/trace_export.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "mcsim/util/csv.hpp"
+#include "mcsim/util/xml.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+void requireTrace(const ExecutionResult& result, const char* fn) {
+  if (result.taskRecords.empty())
+    throw std::invalid_argument(std::string(fn) +
+                                ": result was not traced (EngineConfig::trace)");
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+/// JSON string escaping (names are ASCII task names, but be safe).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void writeTraceCsv(std::ostream& os, const dag::Workflow& wf,
+                   const ExecutionResult& result) {
+  requireTrace(result, "writeTraceCsv");
+  CsvWriter csv(os, {"task", "type", "level", "ready_s", "start_s",
+                     "exec_start_s", "finish_s"});
+  for (const dag::Task& t : wf.tasks()) {
+    const TaskRecord& r = result.taskRecords[t.id];
+    csv.writeRow({t.name, t.type, std::to_string(t.level), num(r.readyTime),
+                  num(r.startTime), num(r.execStart), num(r.finishTime)});
+  }
+}
+
+void writeChromeTrace(std::ostream& os, const dag::Workflow& wf,
+                      const ExecutionResult& result) {
+  requireTrace(result, "writeChromeTrace");
+
+  // Reconstruct lane occupancy: tasks sorted by start time grab the first
+  // lane that is free at their start.
+  std::vector<dag::TaskId> byStart(wf.taskCount());
+  for (std::size_t i = 0; i < byStart.size(); ++i)
+    byStart[i] = static_cast<dag::TaskId>(i);
+  std::sort(byStart.begin(), byStart.end(), [&](dag::TaskId a, dag::TaskId b) {
+    const auto& ra = result.taskRecords[a];
+    const auto& rb = result.taskRecords[b];
+    if (ra.startTime != rb.startTime) return ra.startTime < rb.startTime;
+    return a < b;
+  });
+  std::vector<double> laneFreeAt;
+  std::vector<int> lane(wf.taskCount(), 0);
+  for (dag::TaskId id : byStart) {
+    const TaskRecord& r = result.taskRecords[id];
+    int chosen = -1;
+    for (std::size_t l = 0; l < laneFreeAt.size(); ++l) {
+      if (laneFreeAt[l] <= r.startTime + 1e-12) {
+        chosen = static_cast<int>(l);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      chosen = static_cast<int>(laneFreeAt.size());
+      laneFreeAt.push_back(0.0);
+    }
+    laneFreeAt[static_cast<std::size_t>(chosen)] = r.finishTime;
+    lane[id] = chosen;
+  }
+
+  os << "[\n";
+  bool first = true;
+  for (const dag::Task& t : wf.tasks()) {
+    const TaskRecord& r = result.taskRecords[t.id];
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\":\"" << jsonEscape(t.name) << "\",\"cat\":\""
+       << jsonEscape(t.type) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << lane[t.id] << ",\"ts\":" << num(r.startTime * 1e6)
+       << ",\"dur\":" << num((r.finishTime - r.startTime) * 1e6)
+       << ",\"args\":{\"level\":" << t.level << ",\"ready\":"
+       << num(r.readyTime) << "}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace mcsim::engine

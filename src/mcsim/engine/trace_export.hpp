@@ -1,0 +1,30 @@
+// Machine-readable trace export.
+//
+// Two formats: a flat CSV of per-task timelines (for spreadsheets/plots)
+// and the Chrome Trace Event format (chrome://tracing or Perfetto), where
+// each provisioned processor appears as a "thread" and tasks as complete
+// events — the fastest way to *see* why a provisioning plan behaves the way
+// it does.
+#pragma once
+
+#include <ostream>
+
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/metrics.hpp"
+
+namespace mcsim::engine {
+
+/// CSV: task,type,level,ready_s,start_s,exec_start_s,finish_s.
+/// Requires a traced result (EngineConfig::trace).
+void writeTraceCsv(std::ostream& os, const dag::Workflow& wf,
+                   const ExecutionResult& result);
+
+/// Chrome Trace Event JSON (array form).  Tasks are "X" (complete) events;
+/// timestamps are microseconds as the format requires.  Lane assignment
+/// reconstructs processor occupancy greedily from start/finish times, which
+/// matches the engine's actual assignment because starts are handed to the
+/// lowest free slot in dispatch order.  Requires a traced result.
+void writeChromeTrace(std::ostream& os, const dag::Workflow& wf,
+                      const ExecutionResult& result);
+
+}  // namespace mcsim::engine

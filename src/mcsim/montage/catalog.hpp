@@ -1,0 +1,50 @@
+// Montage task-type catalog.
+//
+// Montage computes a mosaic in stages (paper §2): input images are
+// reprojected (mProject), the reprojected images are background-rectified
+// (mDiffFit fits each overlapping pair, mConcatFit merges the fits, mBgModel
+// solves for corrections, mBackground applies them) and finally coadded
+// (mImgtbl builds the image table, mAdd coadds, mShrink + mJPEG produce the
+// preview).  All tasks at one level invoke the same routine on different
+// data.  Base runtimes are relative weights on the reference CPU; the
+// factory rescales them uniformly so the whole workflow hits the paper's
+// aggregate CPU hours, so only their ratios matter (they set the critical
+// path length relative to total work, i.e. how well the workflow speeds up).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace mcsim::montage {
+
+enum class TaskType {
+  mProject,
+  mDiffFit,
+  mConcatFit,
+  mBgModel,
+  mBackground,
+  mImgtbl,
+  mAdd,
+  mShrink,
+  mJPEG,
+};
+
+inline constexpr std::array<TaskType, 9> kAllTaskTypes = {
+    TaskType::mProject, TaskType::mDiffFit,    TaskType::mConcatFit,
+    TaskType::mBgModel, TaskType::mBackground, TaskType::mImgtbl,
+    TaskType::mAdd,     TaskType::mShrink,     TaskType::mJPEG,
+};
+
+/// Routine name as it appears in DAX files and reports.
+const std::string& typeName(TaskType type);
+
+/// Parse a routine name; throws std::invalid_argument for unknown names.
+TaskType typeFromName(const std::string& name);
+
+/// Base (uncalibrated) runtime weight in reference-CPU seconds.
+double baseRuntimeSeconds(TaskType type);
+
+/// Workflow level at which this routine runs (1-based, paper Fig. 1).
+int levelOf(TaskType type);
+
+}  // namespace mcsim::montage

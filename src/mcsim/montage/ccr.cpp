@@ -1,0 +1,24 @@
+#include "mcsim/montage/ccr.hpp"
+
+#include <stdexcept>
+
+namespace mcsim::montage {
+
+double rescaleToCcr(dag::Workflow& wf, double targetCcr,
+                    double bandwidthBytesPerSecond) {
+  if (!(targetCcr > 0.0))
+    throw std::invalid_argument("rescaleToCcr: target must be positive");
+  const double current = wf.ccr(bandwidthBytesPerSecond);
+  const double factor = targetCcr / current;
+  wf.scaleAllFileSizes(factor);
+  return factor;
+}
+
+dag::Workflow withCcr(const dag::Workflow& wf, double targetCcr,
+                      double bandwidthBytesPerSecond) {
+  dag::Workflow copy = wf;
+  rescaleToCcr(copy, targetCcr, bandwidthBytesPerSecond);
+  return copy;
+}
+
+}  // namespace mcsim::montage

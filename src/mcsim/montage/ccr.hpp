@@ -1,0 +1,20 @@
+// The paper's CCR knob (§6, "Impact of the Communication to Computation
+// Ratio"): "let CCRd be the desired CCR and CCRr the real CCR of the
+// workflow.  Then we multiply each file size by CCRd/CCRr to get the desired
+// CCR."
+#pragma once
+
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::montage {
+
+/// Rescale every file size in place so wf.ccr(bandwidth) == targetCcr.
+/// Returns the applied factor CCRd/CCRr.
+double rescaleToCcr(dag::Workflow& wf, double targetCcr,
+                    double bandwidthBytesPerSecond);
+
+/// Non-mutating convenience: a copy of `wf` rescaled to `targetCcr`.
+dag::Workflow withCcr(const dag::Workflow& wf, double targetCcr,
+                      double bandwidthBytesPerSecond);
+
+}  // namespace mcsim::montage

@@ -1,0 +1,289 @@
+#include "mcsim/montage/factory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mcsim::montage {
+namespace {
+
+std::string indexed(const std::string& stem, int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%05d", i);
+  return stem + "_" + buf;
+}
+
+/// Deterministic overlapping-pair enumeration on the image grid: all
+/// right-neighbour pairs, then down, then the two diagonals — the order a
+/// plane sweep over the sky would discover overlaps.  Throws if the grid
+/// cannot supply `count` distinct adjacent pairs.
+std::vector<std::pair<int, int>> overlapPairs(int cols, int rows, int count) {
+  std::vector<std::pair<int, int>> pairs;
+  auto at = [cols](int c, int r) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c + 1 < cols; ++c)
+      pairs.emplace_back(at(c, r), at(c + 1, r));
+  for (int r = 0; r + 1 < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      pairs.emplace_back(at(c, r), at(c, r + 1));
+  for (int r = 0; r + 1 < rows; ++r)
+    for (int c = 0; c + 1 < cols; ++c)
+      pairs.emplace_back(at(c, r), at(c + 1, r + 1));
+  for (int r = 0; r + 1 < rows; ++r)
+    for (int c = 1; c < cols; ++c)
+      pairs.emplace_back(at(c, r), at(c - 1, r + 1));
+  if (static_cast<int>(pairs.size()) < count)
+    throw std::invalid_argument(
+        "montage: grid too small for requested diffCount (" +
+        std::to_string(pairs.size()) + " adjacencies < " +
+        std::to_string(count) + ")");
+  pairs.resize(static_cast<std::size_t>(count));
+  return pairs;
+}
+
+}  // namespace
+
+MontageParams montage1DegreeParams() {
+  MontageParams p;
+  p.name = "montage-1deg";
+  p.degrees = 1.0;
+  p.gridCols = 9;
+  p.gridRows = 5;                       // 45 images
+  p.diffCount = 107;                    // 2*45 + 107 + 6 = 203 tasks
+  p.mosaicBytes = Bytes::fromMB(173.46);
+  p.targetCpuSeconds = 5.6 * kSecondsPerHour;   // $0.56 at $0.1/CPU-h
+  p.targetCcr = 0.053;
+  return p;
+}
+
+MontageParams montage2DegreeParams() {
+  MontageParams p;
+  p.name = "montage-2deg";
+  p.degrees = 2.0;
+  p.gridCols = 15;
+  p.gridRows = 11;                      // 165 images
+  p.diffCount = 395;                    // 2*165 + 395 + 6 = 731 tasks
+  p.mosaicBytes = Bytes::fromMB(557.9);
+  p.targetCpuSeconds = 20.3 * kSecondsPerHour;  // $2.03
+  p.targetCcr = 0.053;
+  return p;
+}
+
+MontageParams montage4DegreeParams() {
+  MontageParams p;
+  p.name = "montage-4deg";
+  p.degrees = 4.0;
+  p.gridCols = 28;
+  p.gridRows = 25;                      // 700 images
+  p.diffCount = 1621;                   // 2*700 + 1621 + 6 = 3027 tasks
+  p.mosaicBytes = Bytes::fromGB(2.229);
+  p.targetCpuSeconds = 84.0 * kSecondsPerHour;  // $8.40
+  p.targetCcr = 0.045;
+  return p;
+}
+
+MontageParams paramsForDegrees(double degrees) {
+  if (!(degrees > 0.0))
+    throw std::invalid_argument("montage: degrees must be positive");
+  if (degrees == 1.0) return montage1DegreeParams();
+  if (degrees == 2.0) return montage2DegreeParams();
+  if (degrees == 4.0) return montage4DegreeParams();
+
+  MontageParams p;
+  p.name = "montage-" + std::to_string(degrees) + "deg";
+  p.degrees = degrees;
+  // Image count grows with mosaic area (presets: ~44 images per square
+  // degree); keep the grid near the presets' column/row aspect.
+  const int images = std::max(4, static_cast<int>(std::lround(43.75 * degrees * degrees)));
+  int cols = std::max(2, static_cast<int>(std::lround(std::sqrt(images * 1.4))));
+  int rows = std::max(2, (images + cols - 1) / cols);
+  p.gridCols = cols;
+  p.gridRows = rows;
+  const int n = p.imageCount();
+  // Presets average ~2.35 diffs per image; cap by the grid's adjacency
+  // supply (~4 per interior image).
+  const int maxDiffs = (cols - 1) * rows + cols * (rows - 1) + 2 * (cols - 1) * (rows - 1);
+  p.diffCount = std::min(maxDiffs, static_cast<int>(std::lround(2.35 * n)));
+  // CPU time scales with the number of images (presets: ~448 s per image).
+  p.targetCpuSeconds = 448.0 * n;
+  // Mosaic bytes scale with area (preset: 173.46 MB per square degree).
+  p.mosaicBytes = Bytes::fromMB(173.46 * degrees * degrees);
+  // CCR drifts down slightly for larger mosaics (0.053 at <=2 deg, 0.045 at
+  // 4 deg); interpolate and clamp.
+  const double t = std::clamp((degrees - 2.0) / 2.0, 0.0, 1.0);
+  p.targetCcr = 0.053 + t * (0.045 - 0.053);
+  return p;
+}
+
+dag::Workflow buildMontageWorkflow(const MontageParams& p) {
+  if (p.gridCols < 2 || p.gridRows < 2)
+    throw std::invalid_argument("montage: grid must be at least 2x2");
+  if (p.diffCount < 1)
+    throw std::invalid_argument("montage: diffCount must be >= 1");
+  if (!(p.targetCpuSeconds > 0.0))
+    throw std::invalid_argument("montage: targetCpuSeconds must be positive");
+  if (!(p.targetCcr > 0.0))
+    throw std::invalid_argument("montage: targetCcr must be positive");
+
+  const int n = p.imageCount();
+  dag::Workflow wf(p.name);
+
+  // -- files staged in from the archive -------------------------------------
+  const dag::FileId header = wf.addFile("region.hdr", p.headerBytes);
+  std::vector<dag::FileId> rawImages(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    rawImages[static_cast<std::size_t>(i)] =
+        wf.addFile(indexed("2mass", i) + ".fits", p.inputImageBytes);
+
+  // -- level 1: mProject ------------------------------------------------------
+  // Each reprojection emits the projected image plus its area (coverage)
+  // file; these are the "intermediate image" population whose size the CCR
+  // calibration scales.
+  std::vector<dag::TaskId> projectTasks(static_cast<std::size_t>(n));
+  std::vector<dag::FileId> projImages(static_cast<std::size_t>(n));
+  std::vector<dag::FileId> projAreas(static_cast<std::size_t>(n));
+  std::vector<dag::FileId> intermediates;  // all CCR-scalable files
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const dag::TaskId t =
+        wf.addTask(indexed("mProject", i), typeName(TaskType::mProject),
+                   baseRuntimeSeconds(TaskType::mProject));
+    wf.addInput(t, rawImages[idx]);
+    wf.addInput(t, header);
+    projImages[idx] = wf.addFile(indexed("proj", i) + ".fits",
+                                 p.baseIntermediateBytes);
+    projAreas[idx] = wf.addFile(indexed("proj", i) + "_area.fits",
+                                p.baseIntermediateBytes);
+    wf.addOutput(t, projImages[idx]);
+    wf.addOutput(t, projAreas[idx]);
+    intermediates.push_back(projImages[idx]);
+    intermediates.push_back(projAreas[idx]);
+    projectTasks[idx] = t;
+  }
+
+  // -- level 2: mDiffFit over overlapping pairs -------------------------------
+  const auto pairs = overlapPairs(p.gridCols, p.gridRows, p.diffCount);
+  std::vector<dag::FileId> fitFiles;
+  fitFiles.reserve(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const dag::TaskId t = wf.addTask(indexed("mDiffFit", static_cast<int>(k)),
+                                     typeName(TaskType::mDiffFit),
+                                     baseRuntimeSeconds(TaskType::mDiffFit));
+    wf.addInput(t, projImages[static_cast<std::size_t>(pairs[k].first)]);
+    wf.addInput(t, projImages[static_cast<std::size_t>(pairs[k].second)]);
+    const dag::FileId fit = wf.addFile(
+        indexed("fit", static_cast<int>(k)) + ".txt", p.textFileBytes);
+    wf.addOutput(t, fit);
+    fitFiles.push_back(fit);
+  }
+
+  // -- level 3/4: mConcatFit, mBgModel ---------------------------------------
+  const dag::TaskId concat =
+      wf.addTask("mConcatFit", typeName(TaskType::mConcatFit),
+                 baseRuntimeSeconds(TaskType::mConcatFit));
+  for (dag::FileId f : fitFiles) wf.addInput(concat, f);
+  const dag::FileId fitsTbl = wf.addFile("fits.tbl", p.textFileBytes);
+  wf.addOutput(concat, fitsTbl);
+
+  const dag::TaskId bgModel =
+      wf.addTask("mBgModel", typeName(TaskType::mBgModel),
+                 baseRuntimeSeconds(TaskType::mBgModel));
+  wf.addInput(bgModel, fitsTbl);
+  const dag::FileId corrections = wf.addFile("corrections.tbl", p.textFileBytes);
+  wf.addOutput(bgModel, corrections);
+
+  // -- level 5: mBackground ----------------------------------------------------
+  std::vector<dag::FileId> corrImages(static_cast<std::size_t>(n));
+  std::vector<dag::FileId> corrAreas(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const dag::TaskId t =
+        wf.addTask(indexed("mBackground", i), typeName(TaskType::mBackground),
+                   baseRuntimeSeconds(TaskType::mBackground));
+    wf.addInput(t, projImages[idx]);
+    wf.addInput(t, projAreas[idx]);
+    wf.addInput(t, corrections);
+    corrImages[idx] = wf.addFile(indexed("corr", i) + ".fits",
+                                 p.baseIntermediateBytes);
+    corrAreas[idx] = wf.addFile(indexed("corr", i) + "_area.fits",
+                                p.baseIntermediateBytes);
+    wf.addOutput(t, corrImages[idx]);
+    wf.addOutput(t, corrAreas[idx]);
+    intermediates.push_back(corrImages[idx]);
+    intermediates.push_back(corrAreas[idx]);
+  }
+
+  // -- level 6/7: mImgtbl, mAdd ------------------------------------------------
+  const dag::TaskId imgtbl = wf.addTask("mImgtbl", typeName(TaskType::mImgtbl),
+                                        baseRuntimeSeconds(TaskType::mImgtbl));
+  for (int i = 0; i < n; ++i)
+    wf.addInput(imgtbl, corrImages[static_cast<std::size_t>(i)]);
+  const dag::FileId imagesTbl = wf.addFile("cimages.tbl", p.textFileBytes);
+  wf.addOutput(imgtbl, imagesTbl);
+
+  const dag::TaskId add = wf.addTask("mAdd", typeName(TaskType::mAdd),
+                                     baseRuntimeSeconds(TaskType::mAdd));
+  for (int i = 0; i < n; ++i) {
+    wf.addInput(add, corrImages[static_cast<std::size_t>(i)]);
+    wf.addInput(add, corrAreas[static_cast<std::size_t>(i)]);
+  }
+  wf.addInput(add, imagesTbl);
+  wf.addInput(add, header);
+  const dag::FileId mosaic = wf.addFile("mosaic.fits", p.mosaicBytes);
+  wf.addOutput(add, mosaic);
+  // The full-resolution mosaic is the user's product even though mShrink
+  // also reads it.
+  wf.markExplicitOutput(mosaic);
+
+  // -- level 8/9: mShrink, mJPEG ----------------------------------------------
+  const dag::TaskId shrink = wf.addTask("mShrink", typeName(TaskType::mShrink),
+                                        baseRuntimeSeconds(TaskType::mShrink));
+  wf.addInput(shrink, mosaic);
+  const dag::FileId shrunk =
+      wf.addFile("mosaic_small.fits", p.mosaicBytes * p.shrinkFactor);
+  wf.addOutput(shrink, shrunk);
+
+  const dag::TaskId jpeg = wf.addTask("mJPEG", typeName(TaskType::mJPEG),
+                                      baseRuntimeSeconds(TaskType::mJPEG));
+  wf.addInput(jpeg, shrunk);
+  const dag::FileId preview = wf.addFile("mosaic.jpg", p.jpegBytes);
+  wf.addOutput(jpeg, preview);
+
+  wf.finalize();
+
+  if (static_cast<int>(wf.taskCount()) != p.taskCount())
+    throw std::logic_error("montage: task count mismatch (builder bug)");
+
+  // -- calibration: runtimes ---------------------------------------------------
+  // (Runtime scaling must precede CCR scaling: CCR's denominator is Σ r.)
+  wf.scaleAllRuntimes(p.targetCpuSeconds / wf.totalRuntimeSeconds());
+
+  // -- calibration: CCR ---------------------------------------------------------
+  // Fixed bytes (inputs, products, metadata) stay put; intermediate images
+  // are scaled so total bytes = targetCcr * B * Σ r.
+  {
+    const double targetTotalBytes =
+        p.targetCcr * p.referenceBandwidthBytesPerSec * p.targetCpuSeconds;
+    double intermediateBytes = 0.0;
+    for (dag::FileId f : intermediates) intermediateBytes += wf.file(f).size.value();
+    const double fixedBytes = wf.totalFileBytes().value() - intermediateBytes;
+    const double needed = targetTotalBytes - fixedBytes;
+    if (needed <= 0.0)
+      throw std::invalid_argument(
+          "montage: targetCcr too small for the fixed file population");
+    const double scale = needed / intermediateBytes;
+    for (dag::FileId f : intermediates)
+      wf.setFileSize(f, wf.file(f).size * scale);
+  }
+
+  return wf;
+}
+
+dag::Workflow buildMontageWorkflow(double degrees) {
+  return buildMontageWorkflow(paramsForDegrees(degrees));
+}
+
+}  // namespace mcsim::montage

@@ -1,0 +1,121 @@
+#include "mcsim/sim/link.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace mcsim::sim {
+namespace {
+/// Residual byte counts below the completion threshold are treated as done.
+/// The threshold must scale with the transfer size: progress is credited as
+/// rate * dt across many events, so the accumulated rounding error is
+/// relative to the byte count (a 173 MB mosaic accrues ~1e-6 B of dust over
+/// a few dozen events, and the final reschedule delay can underflow
+/// `now + delay == now`, stalling the transfer forever at an absolute
+/// epsilon).  1e-9 relative keeps five orders of margin over observed error
+/// while remaining far below any meaningful byte count.
+constexpr double kEpsilonBytes = 1e-6;
+constexpr double kRelativeEpsilon = 1e-9;
+
+double completionThreshold(double totalBytes) {
+  return std::max(kEpsilonBytes, kRelativeEpsilon * totalBytes);
+}
+}  // namespace
+
+Link::Link(Simulator& sim, double bandwidthBytesPerSecond, LinkSharing sharing)
+    : sim_(sim), bandwidth_(bandwidthBytesPerSecond), sharing_(sharing) {
+  if (!(bandwidthBytesPerSecond > 0.0))
+    throw std::invalid_argument("Link: bandwidth must be positive");
+}
+
+double Link::perTransferRate() const {
+  if (suspended_ || active_.empty()) return 0.0;
+  if (sharing_ == LinkSharing::Dedicated) return bandwidth_;
+  return bandwidth_ / static_cast<double>(active_.size());
+}
+
+Link::TransferId Link::startTransfer(Bytes size, CompletionHandler onComplete) {
+  if (size.value() < 0.0)
+    throw std::invalid_argument("Link::startTransfer: negative size");
+  if (!onComplete)
+    throw std::invalid_argument("Link::startTransfer: empty completion handler");
+  accrueProgress();
+  const TransferId id = nextId_++;
+  active_.emplace(id, Transfer{size.value(), size.value(), std::move(onComplete)});
+  reschedule();
+  return id;
+}
+
+void Link::suspend() {
+  if (suspended_) return;
+  accrueProgress();
+  suspended_ = true;
+  reschedule();
+}
+
+void Link::resume() {
+  if (!suspended_) return;
+  // No progress accrued while down; just restart the clock from now.
+  lastUpdate_ = sim_.now();
+  suspended_ = false;
+  reschedule();
+}
+
+void Link::accrueProgress() {
+  const double now = sim_.now();
+  const double rate = perTransferRate();
+  if (rate > 0.0 && now > lastUpdate_) {
+    const double credit = rate * (now - lastUpdate_);
+    for (auto& [id, t] : active_) t.remainingBytes -= credit;
+  }
+  lastUpdate_ = now;
+}
+
+void Link::completeFinished() {
+  // Collect handlers first: a completion handler may start new transfers on
+  // this link, which mutates active_.
+  std::vector<CompletionHandler> done;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.remainingBytes <= completionThreshold(it->second.totalBytes)) {
+      completedBytes_ += it->second.totalBytes;
+      done.push_back(std::move(it->second.onComplete));
+      it = active_.erase(it);
+      ++completedCount_;
+    } else {
+      ++it;
+    }
+  }
+  for (auto& handler : done) handler();
+}
+
+void Link::reschedule() {
+  if (pendingEvent_ != kInvalidEvent) {
+    sim_.cancel(pendingEvent_);
+    pendingEvent_ = kInvalidEvent;
+  }
+  if (suspended_ || active_.empty()) return;
+
+  // Under fair share all transfers progress at the same rate, so the next
+  // completion is the one with the least remaining bytes.  Under dedicated
+  // the same selection applies (equal rates again).
+  double minRemaining = std::numeric_limits<double>::infinity();
+  bool anyComplete = false;
+  for (const auto& [id, t] : active_) {
+    minRemaining = std::min(minRemaining, t.remainingBytes);
+    anyComplete = anyComplete ||
+                  t.remainingBytes <= completionThreshold(t.totalBytes);
+  }
+  const double rate = perTransferRate();
+  const double delay = anyComplete ? 0.0 : minRemaining / rate;
+
+  pendingEvent_ = sim_.scheduleAfter(delay, [this] {
+    pendingEvent_ = kInvalidEvent;
+    accrueProgress();
+    completeFinished();
+    reschedule();
+  });
+}
+
+}  // namespace mcsim::sim

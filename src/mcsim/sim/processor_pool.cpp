@@ -1,0 +1,51 @@
+#include "mcsim/sim/processor_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcsim::sim {
+
+ProcessorPool::ProcessorPool(Simulator& sim, int processorCount)
+    : sim_(sim), count_(processorCount) {
+  if (processorCount <= 0)
+    throw std::invalid_argument("ProcessorPool: count must be positive");
+}
+
+void ProcessorPool::accrue() {
+  const double now = sim_.now();
+  busyIntegral_ += static_cast<double>(busy_) * (now - lastUpdate_);
+  lastUpdate_ = now;
+}
+
+void ProcessorPool::acquire(GrantHandler onGranted) {
+  if (!onGranted)
+    throw std::invalid_argument("ProcessorPool::acquire: empty handler");
+  waiting_.push_back(std::move(onGranted));
+  if (busy_ < count_) grantOne();
+}
+
+void ProcessorPool::grantOne() {
+  // Claim the processor synchronously (so back-to-back acquires at the same
+  // timestamp cannot over-grant) but deliver the handler as an event, which
+  // keeps grant ordering FIFO and avoids reentrancy into caller state.
+  accrue();
+  ++busy_;
+  GrantHandler handler = std::move(waiting_.front());
+  waiting_.pop_front();
+  sim_.scheduleAfter(0.0, std::move(handler));
+}
+
+void ProcessorPool::release() {
+  if (busy_ <= 0)
+    throw std::logic_error("ProcessorPool::release: no processor is busy");
+  accrue();
+  --busy_;
+  if (!waiting_.empty()) grantOne();
+}
+
+double ProcessorPool::busyProcessorSeconds() const {
+  return busyIntegral_ +
+         static_cast<double>(busy_) * (sim_.now() - lastUpdate_);
+}
+
+}  // namespace mcsim::sim

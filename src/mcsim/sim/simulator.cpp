@@ -1,0 +1,62 @@
+#include "mcsim/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcsim::sim {
+
+EventId Simulator::schedule(double time, Callback cb) {
+  if (time < now_)
+    throw std::invalid_argument("Simulator::schedule: time " +
+                                std::to_string(time) + " is in the past (now " +
+                                std::to_string(now_) + ")");
+  if (!cb) throw std::invalid_argument("Simulator::schedule: empty callback");
+  const EventId id = nextId_++;
+  queue_.push(Event{time, nextSequence_++, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+EventId Simulator::scheduleAfter(double delay, Callback cb) {
+  if (delay < 0.0)
+    throw std::invalid_argument("Simulator::scheduleAfter: negative delay");
+  return schedule(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Only a still-pending event can be cancelled; fired or unknown ids are
+  // rejected so double-cancel and cancel-after-fire are harmless no-ops.
+  return pending_.erase(id) != 0;
+}
+
+void Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (pending_.erase(ev.id) == 0) continue;  // was cancelled; drop lazily
+    now_ = ev.time;
+    ++processed_;
+    ev.callback();
+    return;
+  }
+}
+
+void Simulator::run() {
+  while (!pending_.empty()) step();
+}
+
+void Simulator::runUntil(double horizon) {
+  while (!pending_.empty()) {
+    // Skim cancelled events off the top so queue_.top() is live.
+    while (!queue_.empty() && pending_.count(queue_.top().id) == 0)
+      queue_.pop();
+    if (queue_.empty()) break;
+    if (queue_.top().time > horizon) {
+      now_ = horizon;
+      return;
+    }
+    step();
+  }
+}
+
+}  // namespace mcsim::sim

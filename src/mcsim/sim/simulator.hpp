@@ -1,0 +1,82 @@
+// Discrete-event simulation core — the GridSim substitute.
+//
+// A single-threaded, deterministic event calendar: callbacks scheduled at
+// absolute times execute in (time, insertion-order) order, so two events at
+// the same timestamp run FIFO.  Determinism is a hard requirement — every
+// experiment in the paper is a point comparison between runs, so replaying a
+// configuration must reproduce costs bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace mcsim::sim {
+
+using Callback = std::function<void()>;
+using EventId = std::uint64_t;
+
+/// Sentinel returned by schedule() never equals this.
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in seconds.  Starts at 0.
+  double now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `time` (>= now(); throws otherwise).
+  /// Returns an id usable with cancel().
+  EventId schedule(double time, Callback cb);
+
+  /// Schedule `cb` `delay` seconds from now (delay >= 0).
+  EventId scheduleAfter(double delay, Callback cb);
+
+  /// Cancel a pending event.  Returns true if the event existed and had not
+  /// yet fired; false otherwise (already fired, already cancelled, unknown).
+  bool cancel(EventId id);
+
+  /// Run until the calendar is empty.
+  void run();
+
+  /// Run events with time <= `horizon`; afterwards now() == horizon if any
+  /// events remain beyond it, else the time of the last executed event.
+  void runUntil(double horizon);
+
+  /// True if any events remain pending (cancelled events may linger
+  /// internally but never fire).
+  bool hasPending() const { return !pending_.empty(); }
+
+  std::size_t processedEvents() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;  ///< Insertion order; breaks timestamp ties FIFO.
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pop and execute the earliest event.  Precondition: queue non-empty.
+  void step();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_;  ///< Scheduled, not yet fired/cancelled.
+  double now_ = 0.0;
+  std::uint64_t nextSequence_ = 0;
+  EventId nextId_ = 1;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace mcsim::sim

@@ -1,0 +1,85 @@
+#include "mcsim/util/args.hpp"
+
+namespace mcsim {
+
+ArgParser::ArgParser(std::set<std::string> valueOptions,
+                     std::set<std::string> flags)
+    : valueOptions_(std::move(valueOptions)), flagOptions_(std::move(flags)) {}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inlineValue;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inlineValue = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (flagOptions_.count(name)) {
+      if (inlineValue)
+        throw std::invalid_argument("--" + name + " takes no value");
+      if (!flags_.insert(name).second)
+        throw std::invalid_argument("--" + name + " given twice");
+      continue;
+    }
+    if (!valueOptions_.count(name))
+      throw std::invalid_argument("unknown option --" + name);
+    std::string value;
+    if (inlineValue) {
+      value = *inlineValue;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("--" + name + " needs a value");
+      value = argv[++i];
+    }
+    if (!values_.emplace(name, std::move(value)).second)
+      throw std::invalid_argument("--" + name + " given twice");
+  }
+}
+
+bool ArgParser::hasFlag(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::optional<std::string> ArgParser::value(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::valueOr(const std::string& name,
+                               const std::string& fallback) const {
+  return value(name).value_or(fallback);
+}
+
+double ArgParser::numberOr(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": bad number '" + *v + "'");
+  }
+}
+
+int ArgParser::intOr(const std::string& name, int fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const int parsed = std::stoi(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing chars");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": bad integer '" + *v + "'");
+  }
+}
+
+}  // namespace mcsim

@@ -1,0 +1,43 @@
+// Minimal command-line argument parser for the examples and the CLI tool.
+//
+// Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+// arguments; unknown options are an error (catching typos beats silently
+// ignoring them).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+class ArgParser {
+ public:
+  /// Declare the options before parsing.  `flags` take no value.
+  ArgParser(std::set<std::string> valueOptions, std::set<std::string> flags);
+
+  /// Parse argv (excluding argv[0]).  Throws std::invalid_argument on
+  /// unknown options, missing values, or duplicated options.
+  void parse(int argc, const char* const* argv);
+
+  bool hasFlag(const std::string& name) const;
+  std::optional<std::string> value(const std::string& name) const;
+  std::string valueOr(const std::string& name,
+                      const std::string& fallback) const;
+  double numberOr(const std::string& name, double fallback) const;
+  int intOr(const std::string& name, int fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::set<std::string> valueOptions_;
+  std::set<std::string> flagOptions_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcsim

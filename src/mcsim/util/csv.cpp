@@ -1,0 +1,41 @@
+#include "mcsim/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace mcsim {
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os), columns_(header.size()) {
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(header[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: wrong cell count");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,30 @@
+// Minimal CSV emission (RFC 4180 quoting) so experiment rows can be dumped
+// for external plotting alongside the ASCII tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+/// Streams rows of cells as CSV, quoting cells that contain commas, quotes
+/// or newlines.  The header row is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  void writeRow(const std::vector<std::string>& cells);
+
+  std::size_t rowsWritten() const { return rows_; }
+
+  /// Quote a single cell per RFC 4180 if needed (exposed for tests).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mcsim

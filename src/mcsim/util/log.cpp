@@ -1,0 +1,29 @@
+#include "mcsim/util/log.hpp"
+
+#include <iostream>
+
+namespace mcsim {
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info: return "[info ] ";
+    case LogLevel::Warn: return "[warn ] ";
+    case LogLevel::Error: return "[error] ";
+    case LogLevel::Off: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << prefix(level) << message << '\n';
+}
+
+}  // namespace mcsim

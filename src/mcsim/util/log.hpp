@@ -1,0 +1,38 @@
+// Tiny leveled logger.  The simulator is deterministic and single-threaded;
+// logging exists for tracing engine decisions during development and for the
+// examples' verbose modes, not for production telemetry.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcsim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit a message at `level` to stderr with a level prefix.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <class T, class... Rest>
+void append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: logf(LogLevel::Info, "ran ", n, " tasks").
+template <class... Args>
+void logf(LogLevel level, const Args&... args) {
+  if (level < logLevel()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  logMessage(level, os.str());
+}
+
+}  // namespace mcsim

@@ -1,0 +1,62 @@
+#include "mcsim/util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcsim {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+  if (aligns_.empty()) {
+    // Default: first column left (labels), the rest right (numbers).
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_.front() = Align::Left;
+  }
+  if (aligns_.size() != headers_.size())
+    throw std::invalid_argument("Table: aligns/headers size mismatch");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row has wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      if (aligns_[c] == Align::Right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::toString() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string sectionBanner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace mcsim

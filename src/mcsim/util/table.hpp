@@ -1,0 +1,46 @@
+// Fixed-width ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's figures/tables as rows of
+// text; this keeps the rendering consistent and the bench code focused on
+// the experiment itself.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+/// Column alignment for rendered cells.
+enum class Align { Left, Right };
+
+/// A simple monospaced table: set headers, append string rows, print.
+/// Column widths are computed from content; numeric formatting is the
+/// caller's job (see `formatMoney` / `formatBytes` / `formatDuration`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with a header rule and two-space column gutters.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string toString() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+  std::size_t columnCount() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a section banner ("== title ==") used between bench tables.
+std::string sectionBanner(const std::string& title);
+
+}  // namespace mcsim

@@ -1,0 +1,60 @@
+#include "mcsim/util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mcsim {
+namespace {
+
+/// Insert thousands separators into the integer part of a fixed-point
+/// rendering ("1234567.89" -> "1,234,567.89").
+std::string withThousandsSeparators(const std::string& fixed) {
+  const auto dot = fixed.find('.');
+  std::string intPart = fixed.substr(0, dot == std::string::npos ? fixed.size() : dot);
+  const std::string rest = dot == std::string::npos ? "" : fixed.substr(dot);
+  std::string sign;
+  if (!intPart.empty() && intPart.front() == '-') {
+    sign = "-";
+    intPart.erase(intPart.begin());
+  }
+  std::string grouped;
+  int count = 0;
+  for (auto it = intPart.rbegin(); it != intPart.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  return sign + std::string(grouped.rbegin(), grouped.rend()) + rest;
+}
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string formatMoney(Money m) {
+  return "$" + withThousandsSeparators(fixed(m.value(), 2));
+}
+
+std::string formatBytes(Bytes b) {
+  const double v = b.value();
+  const double a = std::fabs(v);
+  if (a >= kBytesPerTB) return fixed(b.tb(), 2) + " TB";
+  if (a >= kBytesPerGB) return fixed(b.gb(), 2) + " GB";
+  if (a >= kBytesPerMB) return fixed(b.mb(), 2) + " MB";
+  if (a >= kBytesPerKB) return fixed(b.kb(), 2) + " KB";
+  return fixed(v, 0) + " B";
+}
+
+std::string formatDuration(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= kSecondsPerDay) return fixed(seconds / kSecondsPerDay, 2) + " d";
+  if (a >= kSecondsPerHour) return fixed(seconds / kSecondsPerHour, 2) + " h";
+  if (a >= 60.0) return fixed(seconds / 60.0, 1) + " min";
+  return fixed(seconds, 1) + " s";
+}
+
+}  // namespace mcsim

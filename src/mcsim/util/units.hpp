@@ -1,0 +1,114 @@
+// Strong value types for the quantities the cost model trades in.
+//
+// The paper (§3) mixes GB-months, GB, CPU-hours and then normalizes
+// everything to per-second rates; mixing raw doubles for bytes and dollars is
+// exactly the kind of unit soup that produced off-by-1e9 bugs in early
+// drafts of this code.  `Bytes` and `Money` are zero-overhead wrappers with
+// explicit construction and explicit unit-named accessors.
+//
+// Conventions (documented once, used everywhere):
+//   * time is `double` seconds (the simulator clock unit),
+//   * 1 GB = 1e9 bytes (SI).  This is what the paper uses: with SI gigabytes
+//     the archival break-evens come out to exactly 21.52 / 24.25 / 25.12
+//     months (§6, Question 3).
+//   * 1 month = 30 days (Amazon's 2008 GB-month accounting convention).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mcsim {
+
+/// Seconds per unit of the billing-time vocabulary used by the paper.
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 24.0 * kSecondsPerHour;
+inline constexpr double kSecondsPerMonth = 30.0 * kSecondsPerDay;
+
+/// SI byte multiples (the paper's GB is 1e9 bytes).
+inline constexpr double kBytesPerKB = 1e3;
+inline constexpr double kBytesPerMB = 1e6;
+inline constexpr double kBytesPerGB = 1e9;
+inline constexpr double kBytesPerTB = 1e12;
+
+/// An amount of data.  Internally a double byte count: file sizes in this
+/// domain are statistical calibrations, not addressable memory, so
+/// fractional bytes are acceptable and simplify scaling (CCR rescaling
+/// multiplies sizes by arbitrary ratios).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double count) : count_(count) {}
+
+  static constexpr Bytes fromKB(double kb) { return Bytes(kb * kBytesPerKB); }
+  static constexpr Bytes fromMB(double mb) { return Bytes(mb * kBytesPerMB); }
+  static constexpr Bytes fromGB(double gb) { return Bytes(gb * kBytesPerGB); }
+  static constexpr Bytes fromTB(double tb) { return Bytes(tb * kBytesPerTB); }
+
+  constexpr double value() const { return count_; }
+  constexpr double kb() const { return count_ / kBytesPerKB; }
+  constexpr double mb() const { return count_ / kBytesPerMB; }
+  constexpr double gb() const { return count_ / kBytesPerGB; }
+  constexpr double tb() const { return count_ / kBytesPerTB; }
+
+  constexpr Bytes& operator+=(Bytes o) { count_ += o.count_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { count_ -= o.count_; return *this; }
+  constexpr Bytes& operator*=(double s) { count_ *= s; return *this; }
+  constexpr Bytes& operator/=(double s) { count_ /= s; return *this; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.count_ + b.count_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.count_ - b.count_); }
+  friend constexpr Bytes operator*(Bytes a, double s) { return Bytes(a.count_ * s); }
+  friend constexpr Bytes operator*(double s, Bytes a) { return Bytes(a.count_ * s); }
+  friend constexpr Bytes operator/(Bytes a, double s) { return Bytes(a.count_ / s); }
+  /// Ratio of two data amounts (dimensionless).
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.count_ / b.count_; }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  double count_ = 0.0;
+};
+
+/// Monetary amount in US dollars.  Double precision is ample: the paper's
+/// largest figure is $34,632 and its smallest distinction is fractions of a
+/// cent on per-second rates.
+class Money {
+ public:
+  constexpr Money() = default;
+  constexpr explicit Money(double dollars) : dollars_(dollars) {}
+
+  static constexpr Money dollars(double d) { return Money(d); }
+  static constexpr Money cents(double c) { return Money(c / 100.0); }
+  static constexpr Money zero() { return Money(0.0); }
+
+  constexpr double value() const { return dollars_; }
+
+  constexpr Money& operator+=(Money o) { dollars_ += o.dollars_; return *this; }
+  constexpr Money& operator-=(Money o) { dollars_ -= o.dollars_; return *this; }
+  constexpr Money& operator*=(double s) { dollars_ *= s; return *this; }
+  constexpr Money& operator/=(double s) { dollars_ /= s; return *this; }
+
+  friend constexpr Money operator+(Money a, Money b) { return Money(a.dollars_ + b.dollars_); }
+  friend constexpr Money operator-(Money a, Money b) { return Money(a.dollars_ - b.dollars_); }
+  friend constexpr Money operator*(Money a, double s) { return Money(a.dollars_ * s); }
+  friend constexpr Money operator*(double s, Money a) { return Money(a.dollars_ * s); }
+  friend constexpr Money operator/(Money a, double s) { return Money(a.dollars_ / s); }
+  friend constexpr double operator/(Money a, Money b) { return a.dollars_ / b.dollars_; }
+
+  friend constexpr auto operator<=>(Money, Money) = default;
+
+ private:
+  double dollars_ = 0.0;
+};
+
+/// "$1,234.57"-style rendering (used by report tables).
+std::string formatMoney(Money m);
+
+/// "1.30 GB" / "557.9 MB"-style rendering with an automatically chosen unit.
+std::string formatBytes(Bytes b);
+
+/// "5.5 h" / "18.0 min" / "42 s"-style rendering of a duration in seconds.
+std::string formatDuration(double seconds);
+
+}  // namespace mcsim

@@ -1,0 +1,80 @@
+#include "mcsim/util/usage_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcsim {
+
+void UsageCurve::add(double time, Bytes amount) {
+  if (!events_.empty() && time < events_.back().time) sorted_ = false;
+  events_.push_back({time, amount.value()});
+}
+
+void UsageCurve::remove(double time, Bytes amount) {
+  if (!events_.empty() && time < events_.back().time) sorted_ = false;
+  events_.push_back({time, -amount.value()});
+}
+
+Bytes UsageCurve::current() const {
+  double level = 0.0;
+  for (const auto& e : events_) level += e.delta;
+  return Bytes(level);
+}
+
+void UsageCurve::ensureSorted() const {
+  if (sorted_) return;
+  auto* self = const_cast<UsageCurve*>(this);
+  std::stable_sort(self->events_.begin(), self->events_.end(),
+                   [](const UsageEvent& a, const UsageEvent& b) { return a.time < b.time; });
+  self->sorted_ = true;
+}
+
+Bytes UsageCurve::peak() const {
+  ensureSorted();
+  double level = 0.0;
+  double best = 0.0;
+  for (const auto& e : events_) {
+    level += e.delta;
+    best = std::max(best, level);
+  }
+  return Bytes(best);
+}
+
+double UsageCurve::integralByteSeconds(double endTime) const {
+  ensureSorted();
+  double area = 0.0;
+  double level = 0.0;
+  double prev = events_.empty() ? endTime : events_.front().time;
+  for (const auto& e : events_) {
+    const double t = std::min(e.time, endTime);
+    if (t > prev) {
+      area += level * (t - prev);
+      prev = t;
+    }
+    if (e.time > endTime) {
+      // All later events are beyond the horizon; the current level persists
+      // to endTime.
+      break;
+    }
+    level += e.delta;
+  }
+  if (endTime > prev) area += level * (endTime - prev);
+  return area;
+}
+
+double UsageCurve::integralByteSeconds() const {
+  if (events_.empty()) return 0.0;
+  ensureSorted();
+  return integralByteSeconds(events_.back().time);
+}
+
+double UsageCurve::integralGBHours(double endTime) const {
+  return integralByteSeconds(endTime) / kBytesPerGB / kSecondsPerHour;
+}
+
+std::vector<UsageEvent> UsageCurve::sortedEvents() const {
+  ensureSorted();
+  return events_;
+}
+
+}  // namespace mcsim

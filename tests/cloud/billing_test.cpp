@@ -1,0 +1,51 @@
+#include "mcsim/cloud/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim::cloud {
+namespace {
+
+TEST(Billing, PerSecondIsIdentity) {
+  EXPECT_DOUBLE_EQ(billedSeconds(0.0, BillingGranularity::PerSecond), 0.0);
+  EXPECT_DOUBLE_EQ(billedSeconds(1234.5, BillingGranularity::PerSecond),
+                   1234.5);
+}
+
+TEST(Billing, PerHourRoundsUp) {
+  EXPECT_DOUBLE_EQ(billedSeconds(0.0, BillingGranularity::PerHour), 0.0);
+  EXPECT_DOUBLE_EQ(billedSeconds(1.0, BillingGranularity::PerHour), 3600.0);
+  EXPECT_DOUBLE_EQ(billedSeconds(3600.0, BillingGranularity::PerHour), 3600.0);
+  EXPECT_DOUBLE_EQ(billedSeconds(3601.0, BillingGranularity::PerHour), 7200.0);
+  // 18 minutes bills as a full hour -- the granularity the paper idealizes
+  // away.
+  EXPECT_DOUBLE_EQ(billedSeconds(18.0 * 60.0, BillingGranularity::PerHour),
+                   3600.0);
+}
+
+TEST(Billing, NegativeDurationRejected) {
+  EXPECT_THROW(billedSeconds(-1.0, BillingGranularity::PerSecond),
+               std::invalid_argument);
+}
+
+TEST(CostBreakdown, Composition) {
+  CostBreakdown c;
+  c.cpu = Money(1.0);
+  c.storage = Money(0.10);
+  c.storageCleanup = Money(0.06);
+  c.transferIn = Money(0.20);
+  c.transferOut = Money(0.30);
+  EXPECT_DOUBLE_EQ(c.transfer().value(), 0.50);
+  EXPECT_DOUBLE_EQ(c.dataManagement().value(), 0.60);
+  // The paper plots totals with the no-cleanup storage figure.
+  EXPECT_DOUBLE_EQ(c.total().value(), 1.60);
+  EXPECT_DOUBLE_EQ(c.totalWithCleanup().value(), 1.56);
+}
+
+TEST(CostBreakdown, DefaultsToZero) {
+  const CostBreakdown c;
+  EXPECT_DOUBLE_EQ(c.total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.dataManagement().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcsim::cloud

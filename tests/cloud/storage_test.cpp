@@ -1,0 +1,97 @@
+#include "mcsim/cloud/storage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim::cloud {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+};
+
+TEST_F(StorageTest, PutEraseLifecycle) {
+  StorageService s(sim);
+  s.put(1, Bytes::fromMB(4.0));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_DOUBLE_EQ(s.sizeOf(1).mb(), 4.0);
+  EXPECT_DOUBLE_EQ(s.residentBytes().mb(), 4.0);
+  EXPECT_EQ(s.objectCount(), 1u);
+  s.erase(1);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_DOUBLE_EQ(s.residentBytes().value(), 0.0);
+  EXPECT_EQ(s.objectCount(), 0u);
+}
+
+TEST_F(StorageTest, GbHoursIntegralFollowsSimClock) {
+  StorageService s(sim);
+  sim.schedule(0.0, [&] { s.put(1, Bytes::fromGB(2.0)); });
+  sim.schedule(3.0 * kSecondsPerHour, [&] { s.erase(1); });
+  sim.run();
+  EXPECT_NEAR(s.gbHoursUsed(), 6.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.peakBytes().gb(), 2.0);
+}
+
+TEST_F(StorageTest, IntegralCountsOnlyUpToNow) {
+  StorageService s(sim);
+  sim.schedule(0.0, [&] { s.put(1, Bytes(100.0)); });
+  sim.schedule(10.0, [&] {
+    EXPECT_NEAR(s.byteSecondsUsed(), 1000.0, 1e-9);
+  });
+  sim.schedule(20.0, [&] { s.erase(1); });
+  sim.run();
+  EXPECT_NEAR(s.byteSecondsUsed(), 2000.0, 1e-9);
+}
+
+TEST_F(StorageTest, PeakTracksOverlap) {
+  StorageService s(sim);
+  sim.schedule(0.0, [&] { s.put(1, Bytes(10.0)); });
+  sim.schedule(1.0, [&] { s.put(2, Bytes(30.0)); });
+  sim.schedule(2.0, [&] { s.erase(1); });
+  sim.schedule(3.0, [&] { s.erase(2); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(s.peakBytes().value(), 40.0);
+}
+
+TEST_F(StorageTest, DuplicateKeyRejected) {
+  StorageService s(sim);
+  s.put(7, Bytes(1.0));
+  EXPECT_THROW(s.put(7, Bytes(2.0)), std::logic_error);
+}
+
+TEST_F(StorageTest, UnknownKeyRejected) {
+  StorageService s(sim);
+  EXPECT_THROW(s.erase(9), std::logic_error);
+  EXPECT_THROW(s.sizeOf(9), std::logic_error);
+}
+
+TEST_F(StorageTest, NegativeSizeRejected) {
+  StorageService s(sim);
+  EXPECT_THROW(s.put(1, Bytes(-1.0)), std::invalid_argument);
+}
+
+TEST_F(StorageTest, CapacityEnforced) {
+  StorageService s(sim, Bytes::fromMB(10.0));
+  s.put(1, Bytes::fromMB(8.0));
+  EXPECT_THROW(s.put(2, Bytes::fromMB(5.0)), std::runtime_error);
+  // The failed put must not leak partial state.
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_DOUBLE_EQ(s.residentBytes().mb(), 8.0);
+  s.erase(1);
+  s.put(2, Bytes::fromMB(5.0));  // fits now
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST_F(StorageTest, InvalidCapacityRejected) {
+  EXPECT_THROW(StorageService(sim, Bytes(0.0)), std::invalid_argument);
+  EXPECT_THROW(StorageService(sim, Bytes(-1.0)), std::invalid_argument);
+}
+
+TEST_F(StorageTest, InfiniteCapacityByDefault) {
+  StorageService s(sim);
+  s.put(1, Bytes::fromTB(10000.0));  // paper: "infinite capacity"
+  EXPECT_TRUE(s.contains(1));
+}
+
+}  // namespace
+}  // namespace mcsim::cloud

@@ -1,0 +1,117 @@
+// Shared test fixtures.
+//
+// `makeFigure3Workflow` reconstructs the paper's Figure 3 example exactly as
+// the text constrains it:
+//   * seven tasks 0..6; tasks 0-5 take one input and produce one output;
+//     task 6 takes three inputs (§3);
+//   * task 0: a -> b; tasks 1 and 2 consume b ("used as input later by
+//     tasks 1 and 2");
+//   * file b is not dead until task 6 completes ("file b would be deleted
+//     only when task 6 has completed") => 6 consumes b;
+//   * the net outputs are g and h ("files g and h which are the net output
+//     of the workflow are staged out").
+// Concretely: 0:a->b, 1:b->c, 2:b->d, 3:d->f, 4:c->e, 5:c->h,
+//             6:{e,f,b}->g.
+#pragma once
+
+#include <string>
+
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::test {
+
+struct Figure3 {
+  dag::Workflow wf{"figure3"};
+  dag::FileId a, b, c, d, e, f, g, h;
+  dag::TaskId t0, t1, t2, t3, t4, t5, t6;
+};
+
+/// Every file 1 MB and every task 10 s unless the caller rescales.
+inline Figure3 makeFigure3Workflow() {
+  Figure3 fig;
+  dag::Workflow& wf = fig.wf;
+  const Bytes mb = Bytes::fromMB(1.0);
+  fig.a = wf.addFile("a", mb);
+  fig.b = wf.addFile("b", mb);
+  fig.c = wf.addFile("c", mb);
+  fig.d = wf.addFile("d", mb);
+  fig.e = wf.addFile("e", mb);
+  fig.f = wf.addFile("f", mb);
+  fig.g = wf.addFile("g", mb);
+  fig.h = wf.addFile("h", mb);
+
+  fig.t0 = wf.addTask("t0", "stage0", 10.0);
+  wf.addInput(fig.t0, fig.a);
+  wf.addOutput(fig.t0, fig.b);
+
+  fig.t1 = wf.addTask("t1", "stage1", 10.0);
+  wf.addInput(fig.t1, fig.b);
+  wf.addOutput(fig.t1, fig.c);
+
+  fig.t2 = wf.addTask("t2", "stage1", 10.0);
+  wf.addInput(fig.t2, fig.b);
+  wf.addOutput(fig.t2, fig.d);
+
+  fig.t3 = wf.addTask("t3", "stage2", 10.0);
+  wf.addInput(fig.t3, fig.d);
+  wf.addOutput(fig.t3, fig.f);
+
+  fig.t4 = wf.addTask("t4", "stage2", 10.0);
+  wf.addInput(fig.t4, fig.c);
+  wf.addOutput(fig.t4, fig.e);
+
+  fig.t5 = wf.addTask("t5", "stage2", 10.0);
+  wf.addInput(fig.t5, fig.c);
+  wf.addOutput(fig.t5, fig.h);
+
+  fig.t6 = wf.addTask("t6", "stage3", 10.0);
+  wf.addInput(fig.t6, fig.e);
+  wf.addInput(fig.t6, fig.f);
+  wf.addInput(fig.t6, fig.b);
+  wf.addOutput(fig.t6, fig.g);
+
+  wf.finalize();
+  return fig;
+}
+
+/// A linear chain: in -> t0 -> f0 -> t1 -> f1 -> ... -> t(n-1) -> f(n-1).
+inline dag::Workflow makeChainWorkflow(int length, double taskSeconds = 10.0,
+                                       Bytes fileSize = Bytes::fromMB(1.0)) {
+  dag::Workflow wf("chain-" + std::to_string(length));
+  dag::FileId prev = wf.addFile("in", fileSize);
+  for (int i = 0; i < length; ++i) {
+    const dag::TaskId t =
+        wf.addTask("t" + std::to_string(i), "chain", taskSeconds);
+    wf.addInput(t, prev);
+    prev = wf.addFile("f" + std::to_string(i), fileSize);
+    wf.addOutput(t, prev);
+  }
+  wf.finalize();
+  return wf;
+}
+
+/// A fork-join "diamond": in -> split -> {w0..w(k-1)} -> join -> out.
+inline dag::Workflow makeForkJoinWorkflow(int width, double taskSeconds = 10.0,
+                                          Bytes fileSize = Bytes::fromMB(1.0)) {
+  dag::Workflow wf("forkjoin-" + std::to_string(width));
+  const dag::FileId in = wf.addFile("in", fileSize);
+  const dag::TaskId split = wf.addTask("split", "split", taskSeconds);
+  wf.addInput(split, in);
+  const dag::FileId mid = wf.addFile("mid", fileSize);
+  wf.addOutput(split, mid);
+  const dag::TaskId join = wf.addTask("join", "join", taskSeconds);
+  for (int i = 0; i < width; ++i) {
+    const dag::TaskId w =
+        wf.addTask("w" + std::to_string(i), "work", taskSeconds);
+    wf.addInput(w, mid);
+    const dag::FileId f = wf.addFile("w" + std::to_string(i) + ".out", fileSize);
+    wf.addOutput(w, f);
+    wf.addInput(join, f);
+  }
+  const dag::FileId out = wf.addFile("out", fileSize);
+  wf.addOutput(join, out);
+  wf.finalize();
+  return wf;
+}
+
+}  // namespace mcsim::test

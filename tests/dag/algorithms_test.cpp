@@ -1,0 +1,166 @@
+#include "mcsim/dag/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "../common/fixtures.hpp"
+
+namespace mcsim::dag {
+namespace {
+
+using test::makeChainWorkflow;
+using test::makeFigure3Workflow;
+using test::makeForkJoinWorkflow;
+
+bool isTopological(const Workflow& wf, const std::vector<TaskId>& order) {
+  std::unordered_set<TaskId> seen;
+  for (TaskId id : order) {
+    for (TaskId p : wf.task(id).parents)
+      if (!seen.count(p)) return false;
+    seen.insert(id);
+  }
+  return seen.size() == wf.taskCount();
+}
+
+TEST(Algorithms, TopologicalOrderOnFigure3) {
+  const auto fig = makeFigure3Workflow();
+  const auto order = topologicalOrder(fig.wf);
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_TRUE(isTopological(fig.wf, order));
+  EXPECT_EQ(order.front(), fig.t0);
+  EXPECT_EQ(order.back(), fig.t6);
+}
+
+TEST(Algorithms, TopologicalOrderDeterministicMinIdFirst) {
+  const auto fig = makeFigure3Workflow();
+  const auto order = topologicalOrder(fig.wf);
+  // With min-id tie-breaking the order is fully determined:
+  // t0, then t1 before t2, then t3/t4/t5 in id order, then t6.
+  EXPECT_EQ(order, (std::vector<TaskId>{fig.t0, fig.t1, fig.t2, fig.t3,
+                                        fig.t4, fig.t5, fig.t6}));
+}
+
+TEST(Algorithms, CriticalPathOfChainIsTotal) {
+  const auto wf = makeChainWorkflow(8, 5.0);
+  EXPECT_DOUBLE_EQ(criticalPathSeconds(wf), 40.0);
+  const auto path = criticalPathTasks(wf);
+  EXPECT_EQ(path.size(), 8u);
+}
+
+TEST(Algorithms, CriticalPathOfForkJoin) {
+  const auto wf = makeForkJoinWorkflow(10, 7.0);
+  // split + one worker + join.
+  EXPECT_DOUBLE_EQ(criticalPathSeconds(wf), 21.0);
+}
+
+TEST(Algorithms, CriticalPathOfFigure3) {
+  const auto fig = makeFigure3Workflow();
+  // Longest chain: t0 -> t1/t2 -> stage2 -> t6 = 4 tasks x 10 s.
+  EXPECT_DOUBLE_EQ(criticalPathSeconds(fig.wf), 40.0);
+  const auto path = criticalPathTasks(fig.wf);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), fig.t0);
+  EXPECT_EQ(path.back(), fig.t6);
+}
+
+TEST(Algorithms, CriticalPathWithUnevenRuntimes) {
+  Workflow wf("uneven");
+  const FileId in = wf.addFile("in", Bytes(1.0));
+  const TaskId slow = wf.addTask("slow", "t", 100.0);
+  const TaskId fast = wf.addTask("fast", "t", 1.0);
+  wf.addInput(slow, in);
+  wf.addInput(fast, in);
+  const FileId so = wf.addFile("so", Bytes(1.0));
+  const FileId fo = wf.addFile("fo", Bytes(1.0));
+  wf.addOutput(slow, so);
+  wf.addOutput(fast, fo);
+  const TaskId sink = wf.addTask("sink", "t", 2.0);
+  wf.addInput(sink, so);
+  wf.addInput(sink, fo);
+  const FileId out = wf.addFile("out", Bytes(1.0));
+  wf.addOutput(sink, out);
+  wf.finalize();
+  EXPECT_DOUBLE_EQ(criticalPathSeconds(wf), 102.0);
+  const auto path = criticalPathTasks(wf);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], slow);
+  EXPECT_EQ(path[1], sink);
+}
+
+TEST(Algorithms, EarliestStartTimes) {
+  const auto fig = makeFigure3Workflow();
+  const auto est = earliestStartTimes(fig.wf);
+  EXPECT_DOUBLE_EQ(est[fig.t0], 0.0);
+  EXPECT_DOUBLE_EQ(est[fig.t1], 10.0);
+  EXPECT_DOUBLE_EQ(est[fig.t2], 10.0);
+  EXPECT_DOUBLE_EQ(est[fig.t3], 20.0);
+  EXPECT_DOUBLE_EQ(est[fig.t6], 30.0);
+}
+
+TEST(Algorithms, LevelWidthsFigure3) {
+  const auto fig = makeFigure3Workflow();
+  EXPECT_EQ(levelWidths(fig.wf), (std::vector<std::size_t>{1, 2, 3, 1}));
+  EXPECT_EQ(maxLevelWidth(fig.wf), 3u);
+}
+
+TEST(Algorithms, MaxParallelismForkJoin) {
+  EXPECT_EQ(maxParallelism(makeForkJoinWorkflow(17)), 17u);
+}
+
+TEST(Algorithms, MaxParallelismChainIsOne) {
+  EXPECT_EQ(maxParallelism(makeChainWorkflow(12)), 1u);
+}
+
+TEST(Algorithms, MaxParallelismFigure3) {
+  // Equal runtimes: the three stage-2 tasks run concurrently.
+  EXPECT_EQ(maxParallelism(makeFigure3Workflow().wf), 3u);
+}
+
+TEST(Algorithms, MaxParallelismSeesCrossLevelOverlap) {
+  // Two chains of different speeds from independent inputs: a slow task
+  // overlaps the other chain's tasks even though levels differ.
+  Workflow wf("overlap");
+  const FileId inA = wf.addFile("inA", Bytes(1.0));
+  const FileId inB = wf.addFile("inB", Bytes(1.0));
+  const TaskId slow = wf.addTask("slow", "t", 100.0);
+  wf.addInput(slow, inA);
+  const FileId so = wf.addFile("so", Bytes(1.0));
+  wf.addOutput(slow, so);
+  const TaskId b1 = wf.addTask("b1", "t", 10.0);
+  wf.addInput(b1, inB);
+  const FileId b1o = wf.addFile("b1o", Bytes(1.0));
+  wf.addOutput(b1, b1o);
+  const TaskId b2 = wf.addTask("b2", "t", 10.0);
+  wf.addInput(b2, b1o);
+  const FileId b2o = wf.addFile("b2o", Bytes(1.0));
+  wf.addOutput(b2, b2o);
+  wf.finalize();
+  EXPECT_EQ(maxParallelism(wf), 2u);  // slow overlaps b1 then b2
+  EXPECT_EQ(maxLevelWidth(wf), 2u);
+}
+
+TEST(Algorithms, BackToBackTasksNotCountedConcurrent) {
+  EXPECT_EQ(maxParallelism(makeChainWorkflow(3)), 1u);
+}
+
+TEST(Algorithms, UnfinalizedWorkflowRejected) {
+  Workflow wf("raw");
+  wf.addTask("t", "t", 1.0);
+  EXPECT_THROW(topologicalOrder(wf), std::logic_error);
+  EXPECT_THROW(criticalPathSeconds(wf), std::logic_error);
+  EXPECT_THROW(levelWidths(wf), std::logic_error);
+  EXPECT_THROW(maxParallelism(wf), std::logic_error);
+}
+
+TEST(Algorithms, EmptyWorkflow) {
+  Workflow wf("empty");
+  wf.finalize();
+  EXPECT_TRUE(topologicalOrder(wf).empty());
+  EXPECT_DOUBLE_EQ(criticalPathSeconds(wf), 0.0);
+  EXPECT_EQ(maxParallelism(wf), 0u);
+}
+
+}  // namespace
+}  // namespace mcsim::dag

@@ -1,0 +1,88 @@
+// The exported storage curve must be self-consistent with the scalar
+// metrics derived from it, for every mode and workload.
+#include <gtest/gtest.h>
+
+#include "../common/fixtures.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+class StorageCurve
+    : public ::testing::TestWithParam<std::tuple<DataMode, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndPools, StorageCurve,
+    ::testing::Combine(::testing::Values(DataMode::RemoteIO, DataMode::Regular,
+                                         DataMode::DynamicCleanup),
+                       ::testing::Values(1, 8, 64)));
+
+TEST_P(StorageCurve, CurveMatchesScalarMetrics) {
+  const auto [mode, procs] = GetParam();
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.mode = mode;
+  cfg.processors = procs;
+  const auto r = simulateWorkflow(wf, cfg);
+  EXPECT_NEAR(r.storageCurve.integralByteSeconds(r.makespanSeconds),
+              r.storageByteSeconds, 1.0);
+  EXPECT_NEAR(r.storageCurve.peak().value(), r.peakStorageBytes.value(), 1.0);
+  // Everything put was eventually removed.
+  EXPECT_NEAR(r.storageCurve.current().value(), 0.0, 1.0);
+  EXPECT_GT(r.storageCurve.eventCount(), 0u);
+}
+
+TEST(StorageCurveShape, RegularIsMonotoneUntilTheEnd) {
+  // In regular mode the level never decreases before the final sweep: every
+  // negative delta happens at the very last curve timestamp.
+  const auto fig = test::makeFigure3Workflow();
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.linkBandwidthBytesPerSec = 1e6;
+  const auto r = simulateWorkflow(fig.wf, cfg);
+  const auto events = r.storageCurve.sortedEvents();
+  ASSERT_FALSE(events.empty());
+  const double endTime = events.back().time;
+  for (const UsageEvent& e : events)
+    if (e.delta < 0.0) EXPECT_DOUBLE_EQ(e.time, endTime);
+}
+
+TEST(StorageCurveShape, CleanupReleasesMidRun) {
+  const auto fig = test::makeFigure3Workflow();
+  EngineConfig cfg;
+  cfg.mode = DataMode::DynamicCleanup;
+  cfg.processors = 2;
+  cfg.linkBandwidthBytesPerSec = 1e6;
+  const auto r = simulateWorkflow(fig.wf, cfg);
+  const auto events = r.storageCurve.sortedEvents();
+  const double endTime = events.back().time;
+  bool midRunRelease = false;
+  for (const UsageEvent& e : events)
+    midRunRelease = midRunRelease || (e.delta < 0.0 && e.time < endTime);
+  EXPECT_TRUE(midRunRelease);
+}
+
+TEST(StorageCurveShape, RemoteReturnsToZeroBetweenWaves) {
+  // Serial remote I/O on Figure 3: the level dips to zero after each task's
+  // teardown before the next stage-in begins.
+  const auto fig = test::makeFigure3Workflow();
+  EngineConfig cfg;
+  cfg.mode = DataMode::RemoteIO;
+  cfg.processors = 1;
+  cfg.linkBandwidthBytesPerSec = 1e6;
+  const auto r = simulateWorkflow(fig.wf, cfg);
+  const auto events = r.storageCurve.sortedEvents();
+  double level = 0.0;
+  int zeroTouches = 0;
+  double lastTime = -1.0;
+  for (const UsageEvent& e : events) {
+    if (e.time != lastTime && level == 0.0 && lastTime >= 0.0) ++zeroTouches;
+    level += e.delta;
+    lastTime = e.time;
+  }
+  EXPECT_GE(zeroTouches, 6);  // between each of the 7 serial tasks
+}
+
+}  // namespace
+}  // namespace mcsim::engine

@@ -1,0 +1,171 @@
+// Mode-comparison invariants on the real Montage workloads -- the claims
+// Figures 7-10 rest on.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+struct ModeRuns {
+  ExecutionResult remote, regular, cleanup;
+};
+
+ModeRuns runAllModes(const dag::Workflow& wf, int processors) {
+  EngineConfig cfg;
+  cfg.processors = processors;
+  // Question-2 network model (see analysis::dataModeComparison): every
+  // transfer gets the nominal bandwidth.
+  cfg.linkSharing = sim::LinkSharing::Dedicated;
+  cfg.mode = DataMode::RemoteIO;
+  ModeRuns runs{simulateWorkflow(wf, cfg), {}, {}};
+  cfg.mode = DataMode::Regular;
+  runs.regular = simulateWorkflow(wf, cfg);
+  cfg.mode = DataMode::DynamicCleanup;
+  runs.cleanup = simulateWorkflow(wf, cfg);
+  return runs;
+}
+
+class MontageModes : public ::testing::TestWithParam<double> {
+ protected:
+  static dag::Workflow buildParam() {
+    return montage::buildMontageWorkflow(GetParam());
+  }
+};
+
+// The 4-degree workflow (3,027 tasks) is exercised by the integration tests;
+// parameterizing 1 and 2 degrees keeps this suite fast.
+INSTANTIATE_TEST_SUITE_P(Workflows, MontageModes, ::testing::Values(1.0, 2.0));
+
+TEST_P(MontageModes, StorageOrderRemoteLeastRegularMost) {
+  // Paper Fig 7 (top): "The least storage used is in the remote I/O mode...
+  // The most storage is used in the regular mode."
+  const auto wf = buildParam();
+  const auto runs =
+      runAllModes(wf, static_cast<int>(dag::maxParallelism(wf)));
+  EXPECT_LT(runs.remote.storageByteSeconds, runs.cleanup.storageByteSeconds);
+  EXPECT_LT(runs.cleanup.storageByteSeconds, runs.regular.storageByteSeconds);
+}
+
+TEST_P(MontageModes, TransferOrderRemoteMost) {
+  // Paper Fig 7 (middle): most data transfer in remote I/O; regular equals
+  // cleanup; remote stages out more (intermediates go back to the user).
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 32);
+  EXPECT_GT(runs.remote.bytesIn, runs.regular.bytesIn);
+  EXPECT_GT(runs.remote.bytesOut, runs.regular.bytesOut);
+  EXPECT_DOUBLE_EQ(runs.regular.bytesIn.value(), runs.cleanup.bytesIn.value());
+  EXPECT_DOUBLE_EQ(runs.regular.bytesOut.value(),
+                   runs.cleanup.bytesOut.value());
+}
+
+TEST_P(MontageModes, RegularBoundaryBytesMatchWorkflow) {
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 16);
+  EXPECT_NEAR(runs.regular.bytesIn.value(), wf.externalInputBytes().value(),
+              1.0);
+  EXPECT_NEAR(runs.regular.bytesOut.value(), wf.workflowOutputBytes().value(),
+              1.0);
+}
+
+TEST_P(MontageModes, RemoteBytesMatchPerUseAccounting) {
+  const auto wf = buildParam();
+  double expectedIn = 0.0, expectedOut = 0.0;
+  for (const dag::Task& t : wf.tasks()) {
+    for (dag::FileId f : t.inputs) expectedIn += wf.file(f).size.value();
+    for (dag::FileId f : t.outputs) expectedOut += wf.file(f).size.value();
+  }
+  const auto runs = runAllModes(wf, 16);
+  EXPECT_NEAR(runs.remote.bytesIn.value(), expectedIn, 1.0);
+  EXPECT_NEAR(runs.remote.bytesOut.value(), expectedOut, 1.0);
+}
+
+TEST_P(MontageModes, CpuWorkInvariant) {
+  // Fig 10: "The CPU cost is invariant between the three execution modes."
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 16);
+  EXPECT_NEAR(runs.remote.cpuBusySeconds, wf.totalRuntimeSeconds(), 1e-6);
+  EXPECT_NEAR(runs.regular.cpuBusySeconds, wf.totalRuntimeSeconds(), 1e-6);
+  EXPECT_NEAR(runs.cleanup.cpuBusySeconds, wf.totalRuntimeSeconds(), 1e-6);
+}
+
+TEST_P(MontageModes, AllTasksExecuteInEveryMode) {
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 8);
+  EXPECT_EQ(runs.remote.tasksExecuted, wf.taskCount());
+  EXPECT_EQ(runs.regular.tasksExecuted, wf.taskCount());
+  EXPECT_EQ(runs.cleanup.tasksExecuted, wf.taskCount());
+}
+
+TEST_P(MontageModes, CleanupDoesNotChangeMakespan) {
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 16);
+  EXPECT_NEAR(runs.regular.makespanSeconds, runs.cleanup.makespanSeconds,
+              1e-6);
+}
+
+TEST_P(MontageModes, RemoteIoSlowerThanRegular) {
+  // Per-task staging serializes I/O with compute.
+  const auto wf = buildParam();
+  const auto runs = runAllModes(wf, 16);
+  EXPECT_GT(runs.remote.makespanSeconds, runs.regular.makespanSeconds);
+}
+
+class MontageSpeedup : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessorLadder, MontageSpeedup,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST_P(MontageSpeedup, MakespanRespectsBounds) {
+  static const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.processors = GetParam();
+  cfg.mode = DataMode::Regular;
+  const auto r = simulateWorkflow(wf, cfg);
+  const double transferFloor =
+      (wf.externalInputBytes() + wf.workflowOutputBytes()).value() /
+      cfg.linkBandwidthBytesPerSec;
+  // Lower bounds: critical path, work/P.
+  EXPECT_GE(r.makespanSeconds,
+            wf.totalRuntimeSeconds() / GetParam() - 1e-6);
+  EXPECT_GE(r.makespanSeconds, dag::criticalPathSeconds(wf) - 1e-6);
+  // Upper bound: all transfers + all work serialized.
+  EXPECT_LE(r.makespanSeconds,
+            transferFloor + wf.totalRuntimeSeconds() + 1e-6);
+}
+
+TEST(MontageSpeedupCurve, MakespanMonotoneNonIncreasing) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.mode = DataMode::Regular;
+  double previous = std::numeric_limits<double>::infinity();
+  for (int p : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    cfg.processors = p;
+    const double makespan = simulateWorkflow(wf, cfg).makespanSeconds;
+    EXPECT_LE(makespan, previous + 1e-6) << p << " procs";
+    previous = makespan;
+  }
+}
+
+TEST(MontageSpeedupCurve, ProvisionedProcessorSecondsGrowWithP) {
+  // The economic core of Question 1: more processors finish faster but the
+  // paid processor-time (P x makespan) grows, so total cost rises.
+  const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.mode = DataMode::Regular;
+  double previous = 0.0;
+  for (int p : {1, 4, 16, 64, 128}) {
+    cfg.processors = p;
+    const auto r = simulateWorkflow(wf, cfg);
+    const double paid = static_cast<double>(p) * r.makespanSeconds;
+    EXPECT_GT(paid, previous) << p << " procs";
+    previous = paid;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim::engine

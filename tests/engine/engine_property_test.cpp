@@ -1,0 +1,152 @@
+// Property-based engine tests over seeded random DAGs: the invariants that
+// must hold for *any* workflow, not just Montage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/dag/random_dag.hpp"
+#include "mcsim/engine/engine.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+class RandomDagProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    wf_ = std::make_unique<dag::Workflow>(dag::makeRandomWorkflow(GetParam()));
+  }
+  ExecutionResult run(DataMode mode, int processors) {
+    EngineConfig cfg;
+    cfg.mode = mode;
+    cfg.processors = processors;
+    cfg.linkBandwidthBytesPerSec = 1.25e6;
+    return simulateWorkflow(*wf_, cfg);
+  }
+  std::unique_ptr<dag::Workflow> wf_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperties,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST_P(RandomDagProperties, AllTasksExecuteEveryMode) {
+  for (DataMode mode : {DataMode::RemoteIO, DataMode::Regular,
+                        DataMode::DynamicCleanup}) {
+    const auto r = run(mode, 4);
+    EXPECT_EQ(r.tasksExecuted, wf_->taskCount()) << dataModeName(mode);
+    EXPECT_NEAR(r.cpuBusySeconds, wf_->totalRuntimeSeconds(), 1e-6)
+        << dataModeName(mode);
+  }
+}
+
+TEST_P(RandomDagProperties, MakespanAboveLowerBounds) {
+  for (int p : {1, 3, 16}) {
+    const auto r = run(DataMode::Regular, p);
+    EXPECT_GE(r.makespanSeconds, dag::criticalPathSeconds(*wf_) - 1e-6);
+    EXPECT_GE(r.makespanSeconds, wf_->totalRuntimeSeconds() / p - 1e-6);
+  }
+}
+
+TEST_P(RandomDagProperties, SerialRegularMakespanBounds) {
+  const auto r = run(DataMode::Regular, 1);
+  const double b = 1.25e6;
+  const double inTime = wf_->externalInputBytes().value() / b;
+  const double outTime = wf_->workflowOutputBytes().value() / b;
+  const double work = wf_->totalRuntimeSeconds();
+  // Dedicated links: stage-out takes max(output)/B, stage-in at most sum/B.
+  double maxOut = 0.0;
+  for (dag::FileId f : wf_->workflowOutputs())
+    maxOut = std::max(maxOut, wf_->file(f).size.value());
+  EXPECT_GE(r.makespanSeconds, work + maxOut / b - 1e-6);
+  EXPECT_LE(r.makespanSeconds, inTime + work + outTime + 1e-6);
+}
+
+TEST_P(RandomDagProperties, CleanupStorageNeverExceedsRegular) {
+  for (int p : {1, 4}) {
+    const auto reg = run(DataMode::Regular, p);
+    const auto cln = run(DataMode::DynamicCleanup, p);
+    EXPECT_LE(cln.storageByteSeconds, reg.storageByteSeconds + 1e-6) << p;
+    EXPECT_LE(cln.peakStorageBytes.value(),
+              reg.peakStorageBytes.value() + 1e-6)
+        << p;
+  }
+}
+
+TEST_P(RandomDagProperties, CleanupTransfersEqualRegular) {
+  const auto reg = run(DataMode::Regular, 4);
+  const auto cln = run(DataMode::DynamicCleanup, 4);
+  EXPECT_DOUBLE_EQ(reg.bytesIn.value(), cln.bytesIn.value());
+  EXPECT_DOUBLE_EQ(reg.bytesOut.value(), cln.bytesOut.value());
+}
+
+TEST_P(RandomDagProperties, RegularPeakIsTotalBytes) {
+  // In regular mode nothing is deleted before the final sweep, so the peak
+  // is every file ever resident.
+  const auto reg = run(DataMode::Regular, 4);
+  EXPECT_NEAR(reg.peakStorageBytes.value(), wf_->totalFileBytes().value(),
+              1.0);
+}
+
+TEST_P(RandomDagProperties, RemoteBytesAreUseCounts) {
+  double expectedIn = 0.0, expectedOut = 0.0;
+  for (const dag::Task& t : wf_->tasks()) {
+    for (dag::FileId f : t.inputs) expectedIn += wf_->file(f).size.value();
+    for (dag::FileId f : t.outputs) expectedOut += wf_->file(f).size.value();
+  }
+  const auto r = run(DataMode::RemoteIO, 4);
+  EXPECT_NEAR(r.bytesIn.value(), expectedIn, 1.0);
+  EXPECT_NEAR(r.bytesOut.value(), expectedOut, 1.0);
+  EXPECT_GE(r.bytesIn.value(), wf_->externalInputBytes().value() - 1.0);
+  EXPECT_GE(r.bytesOut.value(), wf_->workflowOutputBytes().value() - 1.0);
+}
+
+TEST_P(RandomDagProperties, RemoteStorageIsTransient) {
+  // Remote I/O deletes everything per task: nothing is resident at the end
+  // and the peak is bounded by the largest concurrent working set.
+  const auto r = run(DataMode::RemoteIO, 2);
+  EXPECT_GT(r.storageByteSeconds, 0.0);
+  // With 2 processors at most two tasks' working sets coexist.
+  double biggest = 0.0, second = 0.0;
+  for (const dag::Task& t : wf_->tasks()) {
+    double set = 0.0;
+    for (dag::FileId f : t.inputs) set += wf_->file(f).size.value();
+    for (dag::FileId f : t.outputs) set += wf_->file(f).size.value();
+    if (set > biggest) {
+      second = biggest;
+      biggest = set;
+    } else if (set > second) {
+      second = set;
+    }
+  }
+  EXPECT_LE(r.peakStorageBytes.value(), biggest + second + 1.0);
+}
+
+TEST_P(RandomDagProperties, ProcessorBusyNeverExceedsProvisioned) {
+  for (DataMode mode : {DataMode::RemoteIO, DataMode::Regular}) {
+    const auto r = run(mode, 3);
+    EXPECT_LE(r.processorBusySeconds, 3.0 * r.makespanSeconds + 1e-6);
+    EXPECT_GE(r.processorBusySeconds, r.cpuBusySeconds - 1e-6);
+    EXPECT_GT(r.utilization(), 0.0);
+    EXPECT_LE(r.utilization(), 1.0 + 1e-9);
+  }
+}
+
+TEST_P(RandomDagProperties, WiderPoolNeverSlowerThanSerial) {
+  const auto serial = run(DataMode::Regular, 1);
+  const auto wide = run(DataMode::Regular, 64);
+  EXPECT_LE(wide.makespanSeconds, serial.makespanSeconds + 1e-6);
+}
+
+TEST_P(RandomDagProperties, SchedulerPoliciesBothComplete) {
+  EngineConfig cfg;
+  cfg.mode = DataMode::Regular;
+  cfg.processors = 2;
+  cfg.scheduler = SchedulerPolicy::CriticalPathFirst;
+  const auto cp = simulateWorkflow(*wf_, cfg);
+  EXPECT_EQ(cp.tasksExecuted, wf_->taskCount());
+  EXPECT_GE(cp.makespanSeconds, dag::criticalPathSeconds(*wf_) - 1e-6);
+}
+
+}  // namespace
+}  // namespace mcsim::engine

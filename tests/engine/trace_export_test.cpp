@@ -1,0 +1,105 @@
+#include "mcsim/engine/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../common/fixtures.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::engine {
+namespace {
+
+ExecutionResult tracedRun(const dag::Workflow& wf, int procs) {
+  EngineConfig cfg;
+  cfg.processors = procs;
+  cfg.linkBandwidthBytesPerSec = 1e6;
+  cfg.trace = true;
+  return simulateWorkflow(wf, cfg);
+}
+
+TEST(TraceCsv, OneRowPerTask) {
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 2);
+  std::ostringstream os;
+  writeTraceCsv(os, fig.wf, r);
+  // Header + 7 tasks.
+  std::size_t lines = 0;
+  for (char c : os.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 8u);
+  EXPECT_NE(os.str().find("task,type,level"), std::string::npos);
+  EXPECT_NE(os.str().find("t6,stage3,4"), std::string::npos);
+}
+
+TEST(TraceCsv, RequiresTrace) {
+  const auto fig = test::makeFigure3Workflow();
+  EngineConfig cfg;
+  cfg.processors = 2;
+  const auto r = simulateWorkflow(fig.wf, cfg);
+  std::ostringstream os;
+  EXPECT_THROW(writeTraceCsv(os, fig.wf, r), std::invalid_argument);
+  EXPECT_THROW(writeChromeTrace(os, fig.wf, r), std::invalid_argument);
+}
+
+TEST(ChromeTrace, WellFormedEventArray) {
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 2);
+  std::ostringstream os;
+  writeChromeTrace(os, fig.wf, r);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.substr(out.size() - 2), "]\n");
+  // One complete event per task.
+  std::size_t events = 0;
+  for (std::size_t pos = out.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = out.find("\"ph\":\"X\"", pos + 1))
+    ++events;
+  EXPECT_EQ(events, 7u);
+  EXPECT_NE(out.find("\"cat\":\"stage1\""), std::string::npos);
+}
+
+TEST(ChromeTrace, LaneCountMatchesConcurrency) {
+  // With 2 processors the reconstructed lanes must use exactly tids {0, 1}.
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 2);
+  std::ostringstream os;
+  writeChromeTrace(os, fig.wf, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":1"), std::string::npos);
+  EXPECT_EQ(out.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(ChromeTrace, SerialRunUsesOneLane) {
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 1);
+  std::ostringstream os;
+  writeChromeTrace(os, fig.wf, r);
+  EXPECT_EQ(os.str().find("\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimesAreMicroseconds) {
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 1);
+  std::ostringstream os;
+  writeChromeTrace(os, fig.wf, r);
+  // t0 starts at 1 s = 1e6 us and runs 10 s = 1e7 us.
+  EXPECT_NE(os.str().find("\"ts\":1000000.000000"), std::string::npos);
+  EXPECT_NE(os.str().find("\"dur\":10000000.000000"), std::string::npos);
+}
+
+TEST(ChromeTrace, MontageScaleSmokeTest) {
+  const auto wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.processors = 16;
+  cfg.trace = true;
+  const auto r = simulateWorkflow(wf, cfg);
+  std::ostringstream os;
+  writeChromeTrace(os, wf, r);
+  EXPECT_GT(os.str().size(), 203u * 50u);  // every task serialized
+}
+
+}  // namespace
+}  // namespace mcsim::engine

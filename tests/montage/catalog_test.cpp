@@ -1,0 +1,47 @@
+#include "mcsim/montage/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcsim::montage {
+namespace {
+
+TEST(Catalog, NameRoundTrip) {
+  for (TaskType t : kAllTaskTypes) EXPECT_EQ(typeFromName(typeName(t)), t);
+}
+
+TEST(Catalog, UnknownNameRejected) {
+  EXPECT_THROW(typeFromName("mBogus"), std::invalid_argument);
+}
+
+TEST(Catalog, LevelsFollowMontagePipeline) {
+  EXPECT_EQ(levelOf(TaskType::mProject), 1);
+  EXPECT_EQ(levelOf(TaskType::mDiffFit), 2);
+  EXPECT_EQ(levelOf(TaskType::mConcatFit), 3);
+  EXPECT_EQ(levelOf(TaskType::mBgModel), 4);
+  EXPECT_EQ(levelOf(TaskType::mBackground), 5);
+  EXPECT_EQ(levelOf(TaskType::mImgtbl), 6);
+  EXPECT_EQ(levelOf(TaskType::mAdd), 7);
+  EXPECT_EQ(levelOf(TaskType::mShrink), 8);
+  EXPECT_EQ(levelOf(TaskType::mJPEG), 9);
+}
+
+TEST(Catalog, RuntimesPositiveAndProjectDominant) {
+  for (TaskType t : kAllTaskTypes) EXPECT_GT(baseRuntimeSeconds(t), 0.0);
+  // The reprojection stage dominates CPU time in 2008-era Montage; our
+  // calibration relies on that (DESIGN.md).
+  for (TaskType t : kAllTaskTypes)
+    EXPECT_GE(baseRuntimeSeconds(TaskType::mProject), baseRuntimeSeconds(t));
+  // Diff fits are short relative to reprojection.
+  EXPECT_LT(baseRuntimeSeconds(TaskType::mDiffFit),
+            baseRuntimeSeconds(TaskType::mProject) / 10.0);
+}
+
+TEST(Catalog, TypeNamesMatchMontageRoutines) {
+  EXPECT_EQ(typeName(TaskType::mProject), "mProject");
+  EXPECT_EQ(typeName(TaskType::mJPEG), "mJPEG");
+}
+
+}  // namespace
+}  // namespace mcsim::montage

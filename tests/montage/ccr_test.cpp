@@ -1,0 +1,70 @@
+#include "mcsim/montage/ccr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::montage {
+namespace {
+
+TEST(CcrRescale, HitsTargetExactly) {
+  dag::Workflow wf = buildMontageWorkflow(1.0);
+  for (double target : {0.01, 0.053, 0.1, 0.5, 1.0, 2.0, 10.0}) {
+    rescaleToCcr(wf, target, kReferenceBandwidthBytesPerSec);
+    EXPECT_NEAR(wf.ccr(kReferenceBandwidthBytesPerSec), target, 1e-9);
+  }
+}
+
+TEST(CcrRescale, FactorIsRatioOfCcrs) {
+  dag::Workflow wf = buildMontageWorkflow(1.0);
+  const double before = wf.ccr(kReferenceBandwidthBytesPerSec);
+  const double factor = rescaleToCcr(wf, 2.0 * before,
+                                     kReferenceBandwidthBytesPerSec);
+  EXPECT_NEAR(factor, 2.0, 1e-9);
+}
+
+TEST(CcrRescale, ScalesEveryFileUniformly) {
+  dag::Workflow wf = buildMontageWorkflow(1.0);
+  const Bytes firstBefore = wf.file(0).size;
+  const Bytes lastBefore = wf.file(static_cast<dag::FileId>(wf.fileCount() - 1)).size;
+  const double factor = rescaleToCcr(wf, 0.106, kReferenceBandwidthBytesPerSec);
+  EXPECT_NEAR(wf.file(0).size.value(), firstBefore.value() * factor, 1e-3);
+  EXPECT_NEAR(wf.file(static_cast<dag::FileId>(wf.fileCount() - 1)).size.value(),
+              lastBefore.value() * factor, 1e-3);
+}
+
+TEST(CcrRescale, RuntimesUntouched) {
+  dag::Workflow wf = buildMontageWorkflow(1.0);
+  const double runtime = wf.totalRuntimeSeconds();
+  rescaleToCcr(wf, 1.0, kReferenceBandwidthBytesPerSec);
+  EXPECT_DOUBLE_EQ(wf.totalRuntimeSeconds(), runtime);
+}
+
+TEST(CcrRescale, NonMutatingCopy) {
+  const dag::Workflow base = buildMontageWorkflow(1.0);
+  const double original = base.ccr(kReferenceBandwidthBytesPerSec);
+  const dag::Workflow scaled = withCcr(base, 0.4, kReferenceBandwidthBytesPerSec);
+  EXPECT_NEAR(base.ccr(kReferenceBandwidthBytesPerSec), original, 1e-12);
+  EXPECT_NEAR(scaled.ccr(kReferenceBandwidthBytesPerSec), 0.4, 1e-9);
+}
+
+TEST(CcrRescale, InvalidTargetRejected) {
+  dag::Workflow wf = buildMontageWorkflow(1.0);
+  EXPECT_THROW(rescaleToCcr(wf, 0.0, kReferenceBandwidthBytesPerSec),
+               std::invalid_argument);
+  EXPECT_THROW(rescaleToCcr(wf, -1.0, kReferenceBandwidthBytesPerSec),
+               std::invalid_argument);
+}
+
+TEST(CcrRescale, PaperCcrTable) {
+  // The table in §6: CCR of the three Montage workflows at 10 Mbps.
+  EXPECT_NEAR(buildMontageWorkflow(1.0).ccr(kReferenceBandwidthBytesPerSec),
+              0.053, 1e-9);
+  EXPECT_NEAR(buildMontageWorkflow(2.0).ccr(kReferenceBandwidthBytesPerSec),
+              0.053, 1e-9);
+  EXPECT_NEAR(buildMontageWorkflow(4.0).ccr(kReferenceBandwidthBytesPerSec),
+              0.045, 1e-9);
+}
+
+}  // namespace
+}  // namespace mcsim::montage

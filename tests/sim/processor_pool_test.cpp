@@ -1,0 +1,105 @@
+#include "mcsim/sim/processor_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mcsim::sim {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(PoolTest, GrantsUpToCapacity) {
+  ProcessorPool pool(sim, 2);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  sim.run();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.busy(), 2);
+  EXPECT_EQ(pool.idle(), 0);
+  EXPECT_EQ(pool.queuedRequests(), 1u);
+}
+
+TEST_F(PoolTest, ReleaseGrantsNextWaiterFifo) {
+  ProcessorPool pool(sim, 1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  pool.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  pool.release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(PoolTest, ReleaseWithoutAcquireThrows) {
+  ProcessorPool pool(sim, 1);
+  EXPECT_THROW(pool.release(), std::logic_error);
+}
+
+TEST_F(PoolTest, InvalidConstruction) {
+  EXPECT_THROW(ProcessorPool(sim, 0), std::invalid_argument);
+  EXPECT_THROW(ProcessorPool(sim, -3), std::invalid_argument);
+}
+
+TEST_F(PoolTest, EmptyHandlerRejected) {
+  ProcessorPool pool(sim, 1);
+  EXPECT_THROW(pool.acquire(nullptr), std::invalid_argument);
+}
+
+TEST_F(PoolTest, BusyIntegralTracksOccupancy) {
+  ProcessorPool pool(sim, 2);
+  // Occupy both processors for disjoint intervals via scheduled work.
+  pool.acquire([&] {
+    sim.scheduleAfter(10.0, [&] { pool.release(); });
+  });
+  pool.acquire([&] {
+    sim.scheduleAfter(4.0, [&] { pool.release(); });
+  });
+  sim.run();
+  // 2 busy for 4 s, 1 busy for 6 s = 14 processor-seconds.
+  EXPECT_NEAR(pool.busyProcessorSeconds(), 14.0, 1e-9);
+  EXPECT_EQ(pool.busy(), 0);
+}
+
+TEST_F(PoolTest, SimultaneousAcquiresNeverOverGrant) {
+  ProcessorPool pool(sim, 3);
+  int concurrent = 0;
+  int peak = 0;
+  for (int i = 0; i < 10; ++i) {
+    pool.acquire([&] {
+      ++concurrent;
+      peak = std::max(peak, concurrent);
+      sim.scheduleAfter(1.0, [&] {
+        --concurrent;
+        pool.release();
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(pool.busy(), 0);
+  // Ten 1-second holds on 3 processors: 10 processor-seconds total.
+  EXPECT_NEAR(pool.busyProcessorSeconds(), 10.0, 1e-9);
+}
+
+TEST_F(PoolTest, SizeAccessors) {
+  ProcessorPool pool(sim, 5);
+  EXPECT_EQ(pool.size(), 5);
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.idle(), 5);
+}
+
+}  // namespace
+}  // namespace mcsim::sim

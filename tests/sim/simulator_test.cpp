@@ -1,0 +1,161 @@
+#include "mcsim/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcsim::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.hasPending());
+  EXPECT_EQ(sim.processedEvents(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule(30.0, [&] { fired.push_back(3); });
+  sim.schedule(10.0, [&] { fired.push_back(1); });
+  sim.schedule(20.0, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+  EXPECT_EQ(sim.processedEvents(), 3u);
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesDuringCallbacks) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule(7.5, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+TEST(Simulator, CallbacksMayScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.scheduleAfter(1.0, chain);
+  };
+  sim.schedule(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule(10.0, [&] {
+    EXPECT_THROW(sim.schedule(5.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.scheduleAfter(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(1.0, Callback{}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.processedEvents(), 0u);
+}
+
+TEST(Simulator, CancelReturnsFalseForFiredOrUnknown) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));          // already fired
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(999999));      // never existed
+}
+
+TEST(Simulator, DoubleCancelIsIdempotent) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+}
+
+TEST(Simulator, CancelOneOfManyAtSameTime) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule(1.0, [&] { fired.push_back(0); });
+  const EventId id = sim.schedule(1.0, [&] { fired.push_back(1); });
+  sim.schedule(1.0, [&] { fired.push_back(2); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule(5.0, [&] { fired.push_back(5.0); });
+  sim.runUntil(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_TRUE(sim.hasPending());
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(3.0, [&] { fired = true; });
+  sim.runUntil(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilWithOnlyCancelledEvents) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.cancel(id);
+  sim.runUntil(10.0);
+  EXPECT_FALSE(sim.hasPending());
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  double last = -1.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    sim.schedule(t, [&last, &sim] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(sim.processedEvents(), 10000u);
+}
+
+}  // namespace
+}  // namespace mcsim::sim

@@ -1,0 +1,86 @@
+#include "mcsim/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+ArgParser parser() {
+  return ArgParser({"procs", "mode", "rate"}, {"csv", "verbose"});
+}
+
+void parse(ArgParser& p, std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  p.parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  auto p = parser();
+  parse(p, {"--procs", "8", "--mode", "cleanup"});
+  EXPECT_EQ(p.valueOr("procs", ""), "8");
+  EXPECT_EQ(p.valueOr("mode", ""), "cleanup");
+  EXPECT_EQ(p.intOr("procs", 0), 8);
+}
+
+TEST(Args, EqualsSyntax) {
+  auto p = parser();
+  parse(p, {"--procs=16", "--rate=2.5"});
+  EXPECT_EQ(p.intOr("procs", 0), 16);
+  EXPECT_DOUBLE_EQ(p.numberOr("rate", 0.0), 2.5);
+}
+
+TEST(Args, Flags) {
+  auto p = parser();
+  parse(p, {"--csv"});
+  EXPECT_TRUE(p.hasFlag("csv"));
+  EXPECT_FALSE(p.hasFlag("verbose"));
+}
+
+TEST(Args, Positional) {
+  auto p = parser();
+  parse(p, {"input.dax", "--csv", "more"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.dax", "more"}));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  auto p = parser();
+  parse(p, {});
+  EXPECT_EQ(p.valueOr("mode", "regular"), "regular");
+  EXPECT_EQ(p.intOr("procs", 4), 4);
+  EXPECT_DOUBLE_EQ(p.numberOr("rate", 1.5), 1.5);
+  EXPECT_FALSE(p.value("mode").has_value());
+}
+
+TEST(Args, UnknownOptionRejected) {
+  auto p = parser();
+  EXPECT_THROW(parse(p, {"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Args, MissingValueRejected) {
+  auto p = parser();
+  EXPECT_THROW(parse(p, {"--procs"}), std::invalid_argument);
+}
+
+TEST(Args, DuplicateRejected) {
+  auto p = parser();
+  EXPECT_THROW(parse(p, {"--procs", "1", "--procs", "2"}),
+               std::invalid_argument);
+  auto q = parser();
+  EXPECT_THROW(parse(q, {"--csv", "--csv"}), std::invalid_argument);
+}
+
+TEST(Args, FlagWithValueRejected) {
+  auto p = parser();
+  EXPECT_THROW(parse(p, {"--csv=yes"}), std::invalid_argument);
+}
+
+TEST(Args, BadNumbersRejected) {
+  auto p = parser();
+  parse(p, {"--procs", "eight", "--rate", "fast"});
+  EXPECT_THROW(p.intOr("procs", 0), std::invalid_argument);
+  EXPECT_THROW(p.numberOr("rate", 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,46 @@
+#include "mcsim/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcsim {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"procs", "cost"});
+  w.writeRow({"1", "0.60"});
+  w.writeRow({"128", "3.95"});
+  EXPECT_EQ(os.str(), "procs,cost\n1,0.60\n128,3.95\n");
+  EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(CsvWriter, QuotesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, EscapingAppliedToCells) {
+  std::ostringstream os;
+  CsvWriter w(os, {"note"});
+  w.writeRow({"a,b"});
+  EXPECT_EQ(os.str(), "note\n\"a,b\"\n");
+}
+
+TEST(CsvWriter, ColumnArityEnforced) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.writeRow({"1"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EmptyHeaderRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

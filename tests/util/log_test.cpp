@@ -1,0 +1,52 @@
+#include "mcsim/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+/// Restores the global threshold after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = logLevel(); }
+  void TearDown() override { setLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, ThresholdRoundTrips) {
+  setLogLevel(LogLevel::Debug);
+  EXPECT_EQ(logLevel(), LogLevel::Debug);
+  setLogLevel(LogLevel::Off);
+  EXPECT_EQ(logLevel(), LogLevel::Off);
+}
+
+TEST_F(LogTest, MessagesBelowThresholdDropped) {
+  setLogLevel(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Info, "quiet ", 42);
+  logf(LogLevel::Error, "loud ", 7);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("quiet"), std::string::npos);
+  EXPECT_NE(err.find("loud 7"), std::string::npos);
+  EXPECT_NE(err.find("[error]"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  setLogLevel(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Error, "nothing");
+  logMessage(LogLevel::Error, "nothing either");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, VariadicFormatting) {
+  setLogLevel(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Debug, "ran ", 3, " tasks in ", 1.5, " s");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("ran 3 tasks in 1.5 s"), std::string::npos);
+  EXPECT_NE(err.find("[debug]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,66 @@
+#include "mcsim/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differed = false;
+  for (int i = 0; i < 32 && !differed; ++i)
+    differed = a.uniformInt(0, 1 << 30) != b.uniformInt(0, 1 << 30);
+  EXPECT_TRUE(differed);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    sawLo = sawLo || v == 3;
+    sawHi = sawHi || v == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniformReal(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SeedAccessor) {
+  EXPECT_EQ(Rng(99).seed(), 99u);
+}
+
+}  // namespace
+}  // namespace mcsim

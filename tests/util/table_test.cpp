@@ -1,0 +1,73 @@
+#include "mcsim/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcsim {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "cost"});
+  t.addRow({"alpha", "$1.00"});
+  t.addRow({"b", "$123.45"});
+  const std::string out = t.toString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("$123.45"), std::string::npos);
+}
+
+TEST(Table, DefaultAlignmentLeftLabelRightNumbers) {
+  Table t({"k", "value"});
+  t.addRow({"x", "1"});
+  const std::string out = t.toString();
+  // "value" is 5 wide; "1" must be right-aligned: "    1".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(Table, ExplicitAlignment) {
+  Table t({"a", "b"}, {Align::Right, Align::Left});
+  t.addRow({"1", "xy"});
+  const std::string out = t.toString();
+  // Column "a" is 1 wide; "1" at column start; "xy" left-aligned after gutter.
+  EXPECT_EQ(out.find("1  xy"), out.rfind("1  xy"));
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AlignArityChecked) {
+  EXPECT_THROW(Table({"a", "b"}, {Align::Left}), std::invalid_argument);
+}
+
+TEST(Table, CountsExposed) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columnCount(), 3u);
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({"1", "2", "3"});
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"h"});
+  t.addRow({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.toString());
+}
+
+TEST(SectionBanner, WrapsTitle) {
+  EXPECT_EQ(sectionBanner("Fig 4"), "\n== Fig 4 ==\n");
+}
+
+}  // namespace
+}  // namespace mcsim

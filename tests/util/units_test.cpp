@@ -1,0 +1,109 @@
+#include "mcsim/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Bytes, UnitFactoriesRoundTrip) {
+  EXPECT_DOUBLE_EQ(Bytes::fromKB(1.0).value(), 1e3);
+  EXPECT_DOUBLE_EQ(Bytes::fromMB(1.0).value(), 1e6);
+  EXPECT_DOUBLE_EQ(Bytes::fromGB(1.0).value(), 1e9);
+  EXPECT_DOUBLE_EQ(Bytes::fromTB(1.0).value(), 1e12);
+  EXPECT_DOUBLE_EQ(Bytes::fromGB(2.229).gb(), 2.229);
+  EXPECT_DOUBLE_EQ(Bytes::fromMB(557.9).mb(), 557.9);
+}
+
+TEST(Bytes, SiNotBinaryGigabytes) {
+  // The paper's arithmetic only works with SI units: 173.46 MB must be
+  // 0.17346 GB, not 173.46/1024.
+  EXPECT_DOUBLE_EQ(Bytes::fromMB(173.46).gb(), 0.17346);
+}
+
+TEST(Bytes, Arithmetic) {
+  const Bytes a = Bytes::fromMB(4.0);
+  const Bytes b = Bytes::fromMB(1.5);
+  EXPECT_DOUBLE_EQ((a + b).mb(), 5.5);
+  EXPECT_DOUBLE_EQ((a - b).mb(), 2.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).mb(), 8.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).mb(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).mb(), 2.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0 / 1.5);
+}
+
+TEST(Bytes, CompoundAssignmentAndComparison) {
+  Bytes a = Bytes::fromMB(1.0);
+  a += Bytes::fromMB(2.0);
+  EXPECT_DOUBLE_EQ(a.mb(), 3.0);
+  a -= Bytes::fromMB(1.0);
+  EXPECT_DOUBLE_EQ(a.mb(), 2.0);
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.mb(), 6.0);
+  a /= 2.0;
+  EXPECT_DOUBLE_EQ(a.mb(), 3.0);
+  EXPECT_LT(Bytes::fromMB(1.0), Bytes::fromMB(2.0));
+  EXPECT_EQ(Bytes::fromGB(1.0), Bytes::fromMB(1000.0));
+}
+
+TEST(Bytes, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Bytes{}.value(), 0.0);
+}
+
+TEST(Money, FactoriesAndArithmetic) {
+  EXPECT_DOUBLE_EQ(Money::dollars(1.5).value(), 1.5);
+  EXPECT_DOUBLE_EQ(Money::cents(56.0).value(), 0.56);
+  EXPECT_DOUBLE_EQ(Money::zero().value(), 0.0);
+  const Money a(2.0), b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Money, CompoundAssignment) {
+  Money m(1.0);
+  m += Money(0.25);
+  m -= Money(0.05);
+  m *= 2.0;
+  m /= 4.0;
+  EXPECT_DOUBLE_EQ(m.value(), 0.6);
+}
+
+TEST(TimeConstants, BillingCalendar) {
+  EXPECT_DOUBLE_EQ(kSecondsPerHour, 3600.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 86400.0);
+  // Amazon's GB-month convention: 30-day months.
+  EXPECT_DOUBLE_EQ(kSecondsPerMonth, 2592000.0);
+}
+
+TEST(FormatMoney, ThousandsSeparatorsAndCents) {
+  EXPECT_EQ(formatMoney(Money(0.56)), "$0.56");
+  EXPECT_EQ(formatMoney(Money(34632.0)), "$34,632.00");
+  EXPECT_EQ(formatMoney(Money(1800.0)), "$1,800.00");
+  EXPECT_EQ(formatMoney(Money(1234567.891)), "$1,234,567.89");
+}
+
+TEST(FormatMoney, Negative) {
+  EXPECT_EQ(formatMoney(Money(-42.5)), "$-42.50");
+}
+
+TEST(FormatBytes, UnitSelection) {
+  EXPECT_EQ(formatBytes(Bytes(512.0)), "512 B");
+  EXPECT_EQ(formatBytes(Bytes::fromKB(10.0)), "10.00 KB");
+  EXPECT_EQ(formatBytes(Bytes::fromMB(173.46)), "173.46 MB");
+  EXPECT_EQ(formatBytes(Bytes::fromGB(2.229)), "2.23 GB");
+  EXPECT_EQ(formatBytes(Bytes::fromTB(12.0)), "12.00 TB");
+}
+
+TEST(FormatDuration, UnitSelection) {
+  EXPECT_EQ(formatDuration(42.0), "42.0 s");
+  EXPECT_EQ(formatDuration(18.0 * 60.0), "18.0 min");
+  EXPECT_EQ(formatDuration(5.5 * 3600.0), "5.50 h");
+  EXPECT_EQ(formatDuration(85.0 * 3600.0), "3.54 d");
+}
+
+}  // namespace
+}  // namespace mcsim

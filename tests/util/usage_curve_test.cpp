@@ -1,0 +1,100 @@
+#include "mcsim/util/usage_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(UsageCurve, EmptyCurve) {
+  UsageCurve c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.current().value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(100.0), 0.0);
+}
+
+TEST(UsageCurve, SingleRectangle) {
+  UsageCurve c;
+  c.add(10.0, Bytes(100.0));
+  c.remove(30.0, Bytes(100.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(), 100.0 * 20.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 100.0);
+  EXPECT_DOUBLE_EQ(c.current().value(), 0.0);
+}
+
+TEST(UsageCurve, AreaIsPaperGbHourMetric) {
+  // 1 GB resident for 2 hours = 2 GB-hours.
+  UsageCurve c;
+  c.add(0.0, Bytes::fromGB(1.0));
+  c.remove(2.0 * kSecondsPerHour, Bytes::fromGB(1.0));
+  EXPECT_NEAR(c.integralGBHours(2.0 * kSecondsPerHour), 2.0, 1e-12);
+}
+
+TEST(UsageCurve, StackedLevels) {
+  UsageCurve c;
+  c.add(0.0, Bytes(10.0));
+  c.add(5.0, Bytes(20.0));   // level 30
+  c.remove(10.0, Bytes(10.0));  // level 20
+  c.remove(20.0, Bytes(20.0));  // level 0
+  // 10*5 + 30*5 + 20*10 = 400
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(), 400.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 30.0);
+}
+
+TEST(UsageCurve, TruncationAtHorizon) {
+  UsageCurve c;
+  c.add(0.0, Bytes(10.0));
+  c.remove(100.0, Bytes(10.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(40.0), 400.0);
+  // Horizon beyond the last event: the level is zero afterwards.
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(200.0), 1000.0);
+}
+
+TEST(UsageCurve, LevelPersistsToHorizonWhenNeverReleased) {
+  UsageCurve c;
+  c.add(10.0, Bytes(5.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(110.0), 5.0 * 100.0);
+  EXPECT_DOUBLE_EQ(c.current().value(), 5.0);
+}
+
+TEST(UsageCurve, OutOfOrderEventsAreSorted) {
+  UsageCurve c;
+  c.remove(30.0, Bytes(100.0));
+  c.add(10.0, Bytes(100.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(30.0), 2000.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 100.0);
+  const auto events = c.sortedEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(events[1].time, 30.0);
+}
+
+TEST(UsageCurve, SimultaneousEvents) {
+  UsageCurve c;
+  c.add(0.0, Bytes(10.0));
+  c.remove(5.0, Bytes(10.0));
+  c.add(5.0, Bytes(20.0));  // swap at the same instant
+  c.remove(10.0, Bytes(20.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(10.0), 10.0 * 5.0 + 20.0 * 5.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 20.0);
+}
+
+TEST(UsageCurve, EventsAfterHorizonIgnored) {
+  UsageCurve c;
+  c.add(0.0, Bytes(10.0));
+  c.add(50.0, Bytes(90.0));
+  EXPECT_DOUBLE_EQ(c.integralByteSeconds(20.0), 200.0);
+  EXPECT_DOUBLE_EQ(c.peak().value(), 100.0);  // peak looks at all events
+}
+
+TEST(UsageCurve, EventCountTracksRecording) {
+  UsageCurve c;
+  for (int i = 0; i < 5; ++i) c.add(i, Bytes(1.0));
+  EXPECT_EQ(c.eventCount(), 5u);
+  EXPECT_FALSE(c.empty());
+  EXPECT_DOUBLE_EQ(c.current().value(), 5.0);
+}
+
+}  // namespace
+}  // namespace mcsim

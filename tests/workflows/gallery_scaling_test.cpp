@@ -1,0 +1,115 @@
+// Parameterized scaling sweeps over the gallery generators: structure must
+// scale predictably and every scale must run cleanly through the engine.
+#include <gtest/gtest.h>
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/workflows/gallery.hpp"
+
+namespace mcsim::workflows {
+namespace {
+
+class CyberShakeScale : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Variations, CyberShakeScale,
+                         ::testing::Values(1, 5, 40, 200));
+
+TEST_P(CyberShakeScale, StructureScalesLinearly) {
+  CyberShakeParams p;
+  p.variations = GetParam();
+  const dag::Workflow wf = buildCyberShake(p);
+  EXPECT_EQ(wf.taskCount(), 3u * static_cast<std::size_t>(GetParam()) + 2u);
+  // Widest level: the extraction fan-out.
+  EXPECT_GE(dag::maxParallelism(wf),
+            static_cast<std::size_t>(GetParam()));
+}
+
+TEST_P(CyberShakeScale, DataVolumeScalesWithVariations) {
+  CyberShakeParams p;
+  p.variations = GetParam();
+  const dag::Workflow wf = buildCyberShake(p);
+  // Each variation contributes one SGT extraction (the dominant bytes).
+  EXPECT_GT(wf.totalFileBytes().value(),
+            p.sgtBytes.value() * static_cast<double>(GetParam()));
+}
+
+class EpigenomicsScale : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Chunks, EpigenomicsScale,
+                         ::testing::Values(1, 4, 25, 100));
+
+TEST_P(EpigenomicsScale, PipelineCountTracksChunks) {
+  EpigenomicsParams p;
+  p.chunks = GetParam();
+  const dag::Workflow wf = buildEpigenomics(p);
+  EXPECT_EQ(wf.taskCount(), 4u * static_cast<std::size_t>(GetParam()) + 4u);
+  EXPECT_EQ(wf.levelCount(), 8);
+  // The chains are independent until the merge.
+  EXPECT_GE(dag::maxParallelism(wf), static_cast<std::size_t>(GetParam()));
+}
+
+TEST_P(EpigenomicsScale, SpeedupTracksChunks) {
+  // More chunks = more parallelism: at P=chunks the makespan approaches the
+  // chain critical path.
+  EpigenomicsParams p;
+  p.chunks = GetParam();
+  const dag::Workflow wf = buildEpigenomics(p);
+  engine::EngineConfig cfg;
+  cfg.processors = GetParam();
+  const auto r = engine::simulateWorkflow(wf, cfg);
+  EXPECT_LT(r.makespanSeconds,
+            dag::criticalPathSeconds(wf) + wf.totalRuntimeSeconds() /
+                                               GetParam() +
+                3600.0);
+}
+
+class InspiralScale
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+INSTANTIATE_TEST_SUITE_P(Shapes, InspiralScale,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 5),
+                                           std::make_pair(5, 9),
+                                           std::make_pair(10, 3)));
+
+TEST_P(InspiralScale, GroupStructure) {
+  const auto [groups, jobs] = GetParam();
+  InspiralParams p;
+  p.groups = groups;
+  p.jobsPerGroup = jobs;
+  const dag::Workflow wf = buildInspiral(p);
+  EXPECT_EQ(wf.taskCount(),
+            static_cast<std::size_t>(groups) * (4u * jobs + 2u));
+  EXPECT_EQ(wf.workflowOutputs().size(), static_cast<std::size_t>(groups));
+  EXPECT_EQ(wf.levelCount(), 6);
+}
+
+TEST_P(InspiralScale, RunsThroughEngine) {
+  const auto [groups, jobs] = GetParam();
+  InspiralParams p;
+  p.groups = groups;
+  p.jobsPerGroup = jobs;
+  const dag::Workflow wf = buildInspiral(p);
+  engine::EngineConfig cfg;
+  cfg.processors = 8;
+  const auto r = engine::simulateWorkflow(wf, cfg);
+  EXPECT_EQ(r.tasksExecuted, wf.taskCount());
+}
+
+class SiphtScale
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+INSTANTIATE_TEST_SUITE_P(Shapes, SiphtScale,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(22, 8),
+                                           std::make_pair(50, 16)));
+
+TEST_P(SiphtScale, FanInStructure) {
+  const auto [patser, blast] = GetParam();
+  SiphtParams p;
+  p.patserJobs = patser;
+  p.blastJobs = blast;
+  const dag::Workflow wf = buildSipht(p);
+  EXPECT_EQ(wf.taskCount(),
+            static_cast<std::size_t>(patser) + blast + 3u);
+  EXPECT_EQ(wf.workflowOutputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcsim::workflows

@@ -1,0 +1,146 @@
+#include "mcsim/workflows/gallery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+
+namespace mcsim::workflows {
+namespace {
+
+TEST(CyberShake, Structure) {
+  CyberShakeParams p;
+  p.variations = 10;
+  const dag::Workflow wf = buildCyberShake(p);
+  // 3 tasks per variation + 2 zips.
+  EXPECT_EQ(wf.taskCount(), 3u * 10u + 2u);
+  EXPECT_EQ(wf.levelCount(), 4);  // extract, synth, peak/zipseis, zippsa
+  EXPECT_EQ(wf.externalInputs().size(), 1u);   // master SGT
+  EXPECT_EQ(wf.workflowOutputs().size(), 2u);  // the two zips
+}
+
+TEST(CyberShake, DataHeavyRegime) {
+  // CyberShake is the high-CCR end of the spectrum: well above Montage.
+  const dag::Workflow wf = buildCyberShake();
+  const double ccr = wf.ccr(montage::kReferenceBandwidthBytesPerSec);
+  EXPECT_GT(ccr, 0.5);
+}
+
+TEST(Epigenomics, Structure) {
+  EpigenomicsParams p;
+  p.chunks = 8;
+  const dag::Workflow wf = buildEpigenomics(p);
+  // split + 5*chunks (4 chain stages... filter,s2s,f2b,map) + merge + index
+  // + pileup.
+  EXPECT_EQ(wf.taskCount(), 1u + 4u * 8u + 3u);
+  EXPECT_EQ(wf.levelCount(), 8);
+  EXPECT_EQ(wf.workflowOutputs().size(), 1u);
+}
+
+TEST(Epigenomics, CpuBoundRegime) {
+  const dag::Workflow wf = buildEpigenomics();
+  const double ccr = wf.ccr(montage::kReferenceBandwidthBytesPerSec);
+  EXPECT_LT(ccr, 0.1);  // alignment dominates: low CCR like Montage
+}
+
+TEST(Inspiral, Structure) {
+  InspiralParams p;
+  p.groups = 2;
+  p.jobsPerGroup = 3;
+  const dag::Workflow wf = buildInspiral(p);
+  // Per group: 3 banks + 3 inspirals + thinca + 3 trigbanks + 3 inspiral2
+  // + thinca2 = 14.
+  EXPECT_EQ(wf.taskCount(), 2u * 14u);
+  EXPECT_EQ(wf.levelCount(), 6);
+  EXPECT_EQ(wf.workflowOutputs().size(), 2u);  // one coinc2 per group
+}
+
+TEST(Sipht, Structure) {
+  SiphtParams p;
+  p.patserJobs = 5;
+  p.blastJobs = 4;
+  const dag::Workflow wf = buildSipht(p);
+  // 5 patser + concat + srna + 4 blast + annotate.
+  EXPECT_EQ(wf.taskCount(), 5u + 1u + 1u + 4u + 1u);
+  EXPECT_EQ(wf.workflowOutputs().size(), 1u);
+}
+
+TEST(Gallery, AllBuildAndValidate) {
+  const auto gallery = buildGallery();
+  ASSERT_EQ(gallery.size(), 4u);
+  for (const dag::Workflow& wf : gallery) {
+    EXPECT_GT(wf.taskCount(), 0u) << wf.name();
+    EXPECT_EQ(dag::topologicalOrder(wf).size(), wf.taskCount()) << wf.name();
+    EXPECT_FALSE(wf.externalInputs().empty()) << wf.name();
+    EXPECT_FALSE(wf.workflowOutputs().empty()) << wf.name();
+  }
+}
+
+TEST(Gallery, Deterministic) {
+  const dag::Workflow a = buildCyberShake();
+  const dag::Workflow b = buildCyberShake();
+  EXPECT_DOUBLE_EQ(a.totalFileBytes().value(), b.totalFileBytes().value());
+  for (dag::TaskId t = 0; t < a.taskCount(); ++t)
+    EXPECT_EQ(a.task(t).parents, b.task(t).parents);
+}
+
+TEST(Gallery, SpansTheCcrSpectrum) {
+  // The gallery exists to cover the regimes Fig 11 sweeps synthetically:
+  // CPU-bound pipelines through data-heavy fan-outs.
+  const double b = montage::kReferenceBandwidthBytesPerSec;
+  const double epigenomics = buildEpigenomics().ccr(b);
+  const double inspiral = buildInspiral().ccr(b);
+  const double montage1 = montage::buildMontageWorkflow(1.0).ccr(b);
+  const double cybershake = buildCyberShake().ccr(b);
+  EXPECT_LT(epigenomics, montage1 + 0.05);  // both CPU-bound (CCR << 1)
+  EXPECT_LT(inspiral, cybershake);
+  EXPECT_GT(cybershake, 10.0 * montage1);
+}
+
+TEST(Gallery, RunsThroughEngineInEveryMode) {
+  for (const dag::Workflow& wf : buildGallery()) {
+    for (engine::DataMode mode :
+         {engine::DataMode::RemoteIO, engine::DataMode::Regular,
+          engine::DataMode::DynamicCleanup}) {
+      engine::EngineConfig cfg;
+      cfg.mode = mode;
+      cfg.processors = 8;
+      const auto r = engine::simulateWorkflow(wf, cfg);
+      EXPECT_EQ(r.tasksExecuted, wf.taskCount())
+          << wf.name() << "/" << engine::dataModeName(mode);
+      EXPECT_NEAR(r.cpuBusySeconds, wf.totalRuntimeSeconds(), 1e-6)
+          << wf.name();
+    }
+  }
+}
+
+TEST(Gallery, CleanupHelpsEveryWorkflow) {
+  for (const dag::Workflow& wf : buildGallery()) {
+    engine::EngineConfig cfg;
+    cfg.processors = 8;
+    cfg.mode = engine::DataMode::Regular;
+    const auto reg = engine::simulateWorkflow(wf, cfg);
+    cfg.mode = engine::DataMode::DynamicCleanup;
+    const auto cln = engine::simulateWorkflow(wf, cfg);
+    EXPECT_LT(cln.storageByteSeconds, reg.storageByteSeconds) << wf.name();
+  }
+}
+
+TEST(Gallery, InvalidParamsRejected) {
+  CyberShakeParams cs;
+  cs.variations = 0;
+  EXPECT_THROW(buildCyberShake(cs), std::invalid_argument);
+  EpigenomicsParams epi;
+  epi.chunks = 0;
+  EXPECT_THROW(buildEpigenomics(epi), std::invalid_argument);
+  InspiralParams insp;
+  insp.groups = 0;
+  EXPECT_THROW(buildInspiral(insp), std::invalid_argument);
+  SiphtParams sipht;
+  sipht.patserJobs = 0;
+  EXPECT_THROW(buildSipht(sipht), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim::workflows

@@ -1,0 +1,218 @@
+// mcsim — command-line front-end to the simulator.
+//
+//   mcsim info     --workflow montage:2
+//   mcsim simulate --workflow montage:1 --mode cleanup --procs 8 [--trace out.json]
+//   mcsim sweep    --workflow montage:4 [--procs 1,2,4,...]
+//   mcsim modes    --workflow cybershake
+//   mcsim ccr      --workflow montage:1 --procs 8 --targets 0.053,0.5,2
+//   mcsim dax      --workflow montage:1 --out montage1.dax
+//
+// --workflow accepts montage:<degrees>, cybershake, epigenomics, inspiral,
+// sipht, or a path to a DAX file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mcsim/analysis/experiments.hpp"
+#include "mcsim/analysis/report.hpp"
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/dag/dax.hpp"
+#include "mcsim/dag/stats.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/engine/trace.hpp"
+#include "mcsim/engine/trace_export.hpp"
+#include "mcsim/montage/factory.hpp"
+#include "mcsim/util/args.hpp"
+#include "mcsim/workflows/gallery.hpp"
+
+namespace {
+
+using namespace mcsim;
+
+constexpr const char* kUsage = R"(usage: mcsim <command> [options]
+
+commands:
+  info      workflow structure and aggregate statistics
+  simulate  one execution; prints metrics and costs
+  sweep     Question-1 provisioning sweep (Fig 4-6 style)
+  modes     Question-2 data-mode comparison (Fig 7-9 style)
+  ccr       Fig-11 style CCR sweep
+  dax       write the workflow as a DAX XML file
+
+common options:
+  --workflow <spec>   montage:<degrees> | cybershake | epigenomics |
+                      inspiral | sipht | <path.dax>       (default montage:1)
+  --procs <n|list>    processor count or comma list        (default 8)
+  --mode <m>          remote-io | regular | cleanup        (default regular)
+  --bandwidth <mbps>  user<->storage link                  (default 10)
+  --targets <list>    CCR targets for `ccr`
+  --out <path>        output file for `dax` / --trace
+  --trace <path>      (simulate) write a Chrome trace JSON
+  --csv               machine-readable output where supported
+)";
+
+dag::Workflow loadWorkflow(const std::string& spec) {
+  if (spec.rfind("montage:", 0) == 0)
+    return montage::buildMontageWorkflow(std::stod(spec.substr(8)));
+  if (spec == "cybershake") return workflows::buildCyberShake();
+  if (spec == "epigenomics") return workflows::buildEpigenomics();
+  if (spec == "inspiral") return workflows::buildInspiral();
+  if (spec == "sipht") return workflows::buildSipht();
+  return dag::readDaxFile(spec);
+}
+
+engine::DataMode parseMode(const std::string& name) {
+  if (name == "remote-io") return engine::DataMode::RemoteIO;
+  if (name == "regular") return engine::DataMode::Regular;
+  if (name == "cleanup") return engine::DataMode::DynamicCleanup;
+  throw std::invalid_argument("unknown mode '" + name +
+                              "' (want remote-io|regular|cleanup)");
+}
+
+std::vector<int> parseIntList(const std::string& text) {
+  std::vector<int> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  if (out.empty()) throw std::invalid_argument("empty list");
+  return out;
+}
+
+std::vector<double> parseDoubleList(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  if (out.empty()) throw std::invalid_argument("empty list");
+  return out;
+}
+
+int cmdInfo(const dag::Workflow& wf, const ArgParser&) {
+  Table t({"property", "value"}, {Align::Left, Align::Left});
+  t.addRow({"name", wf.name()});
+  t.addRow({"tasks", std::to_string(wf.taskCount())});
+  t.addRow({"files", std::to_string(wf.fileCount())});
+  t.addRow({"levels", std::to_string(wf.levelCount())});
+  t.addRow({"max level width", std::to_string(dag::maxLevelWidth(wf))});
+  t.addRow({"max parallelism", std::to_string(dag::maxParallelism(wf))});
+  t.addRow({"total cpu time", formatDuration(wf.totalRuntimeSeconds())});
+  t.addRow({"critical path", formatDuration(dag::criticalPathSeconds(wf))});
+  t.addRow({"total data", formatBytes(wf.totalFileBytes())});
+  t.addRow({"external inputs", formatBytes(wf.externalInputBytes())});
+  t.addRow({"workflow outputs", formatBytes(wf.workflowOutputBytes())});
+  t.addRow({"CCR @ 10 Mbps",
+            std::to_string(wf.ccr(montage::kReferenceBandwidthBytesPerSec))});
+  t.print(std::cout);
+
+  const dag::WorkflowStats stats = dag::computeStats(wf);
+  std::cout << "\nper-routine profile:\n";
+  Table byType({"routine", "tasks", "mean runtime", "total runtime",
+                "mean output"});
+  for (const auto& [name, type] : stats.byType) {
+    byType.addRow({name, std::to_string(type.runtimeSeconds.count),
+                   formatDuration(type.runtimeSeconds.mean()),
+                   formatDuration(type.runtimeSeconds.total),
+                   formatBytes(Bytes(type.outputBytes.mean()))});
+  }
+  byType.print(std::cout);
+  return 0;
+}
+
+int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
+  engine::EngineConfig cfg;
+  cfg.mode = parseMode(args.valueOr("mode", "regular"));
+  cfg.processors = args.intOr("procs", 8);
+  cfg.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  cfg.trace = true;
+  const auto result = engine::simulateWorkflow(wf, cfg);
+  std::cout << engine::summarize(wf, result) << "\n\n";
+  engine::printLevelSummary(std::cout, wf, result);
+
+  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const auto provisioned = engine::computeCost(
+      result, pricing, cloud::CpuBillingMode::Provisioned);
+  const auto usage =
+      engine::computeCost(result, pricing, cloud::CpuBillingMode::Usage);
+  std::cout << "\nprovisioned total " << formatMoney(provisioned.total())
+            << ", usage total " << formatMoney(usage.total()) << "\n";
+
+  if (const auto tracePath = args.value("trace")) {
+    std::ofstream out(*tracePath);
+    if (!out) throw std::runtime_error("cannot write " + *tracePath);
+    engine::writeChromeTrace(out, wf, result);
+    std::cout << "chrome trace written to " << *tracePath
+              << " (open in chrome://tracing)\n";
+  }
+  return 0;
+}
+
+int cmdSweep(const dag::Workflow& wf, const ArgParser& args) {
+  std::vector<int> ladder = analysis::defaultProcessorLadder();
+  if (const auto list = args.value("procs")) ladder = parseIntList(*list);
+  engine::EngineConfig base;
+  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  const auto points = analysis::provisioningSweep(
+      wf, ladder, cloud::Pricing::amazon2008(), base);
+  analysis::provisioningTable(points).print(std::cout);
+  return 0;
+}
+
+int cmdModes(const dag::Workflow& wf, const ArgParser& args) {
+  engine::EngineConfig base;
+  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  const auto rows = analysis::dataModeComparison(
+      wf, cloud::Pricing::amazon2008(), base, args.intOr("procs", 0));
+  analysis::dataModeTable(rows).print(std::cout);
+  return 0;
+}
+
+int cmdCcr(const dag::Workflow& wf, const ArgParser& args) {
+  std::vector<double> targets = {0.053, 0.1, 0.2, 0.4, 0.8, 1.6};
+  if (const auto list = args.value("targets"))
+    targets = parseDoubleList(*list);
+  const auto points = analysis::ccrSweep(wf, targets, args.intOr("procs", 8),
+                                         cloud::Pricing::amazon2008());
+  analysis::ccrTable(points).print(std::cout);
+  return 0;
+}
+
+int cmdDax(const dag::Workflow& wf, const ArgParser& args) {
+  const auto out = args.value("out");
+  if (!out) throw std::invalid_argument("dax: --out <path> required");
+  dag::writeDaxFile(wf, *out);
+  std::cout << "wrote " << wf.taskCount() << " tasks to " << *out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
+                    "out", "trace"},
+                   {"csv"});
+    args.parse(argc - 2, argv + 2);
+    const dag::Workflow wf = loadWorkflow(args.valueOr("workflow", "montage:1"));
+
+    if (command == "info") return cmdInfo(wf, args);
+    if (command == "simulate") return cmdSimulate(wf, args);
+    if (command == "sweep") return cmdSweep(wf, args);
+    if (command == "modes") return cmdModes(wf, args);
+    if (command == "ccr") return cmdCcr(wf, args);
+    if (command == "dax") return cmdDax(wf, args);
+    std::cerr << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mcsim: " << e.what() << "\n";
+    return 1;
+  }
+}
