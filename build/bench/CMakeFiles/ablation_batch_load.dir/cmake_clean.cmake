@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_load.dir/ablation_batch_load.cpp.o"
+  "CMakeFiles/ablation_batch_load.dir/ablation_batch_load.cpp.o.d"
+  "ablation_batch_load"
+  "ablation_batch_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_billing_granularity.dir/ablation_billing_granularity.cpp.o"
+  "CMakeFiles/ablation_billing_granularity.dir/ablation_billing_granularity.cpp.o.d"
+  "ablation_billing_granularity"
+  "ablation_billing_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_billing_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fee_structures.dir/ablation_fee_structures.cpp.o"
+  "CMakeFiles/ablation_fee_structures.dir/ablation_fee_structures.cpp.o.d"
+  "ablation_fee_structures"
+  "ablation_fee_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fee_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

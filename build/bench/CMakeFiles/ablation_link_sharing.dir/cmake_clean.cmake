@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_sharing.dir/ablation_link_sharing.cpp.o"
+  "CMakeFiles/ablation_link_sharing.dir/ablation_link_sharing.cpp.o.d"
+  "ablation_link_sharing"
+  "ablation_link_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

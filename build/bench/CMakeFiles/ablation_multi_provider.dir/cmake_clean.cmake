@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_provider.dir/ablation_multi_provider.cpp.o"
+  "CMakeFiles/ablation_multi_provider.dir/ablation_multi_provider.cpp.o.d"
+  "ablation_multi_provider"
+  "ablation_multi_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_capacity.dir/ablation_storage_capacity.cpp.o"
+  "CMakeFiles/ablation_storage_capacity.dir/ablation_storage_capacity.cpp.o.d"
+  "ablation_storage_capacity"
+  "ablation_storage_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

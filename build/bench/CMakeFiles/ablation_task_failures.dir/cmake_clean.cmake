@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_task_failures.dir/ablation_task_failures.cpp.o"
+  "CMakeFiles/ablation_task_failures.dir/ablation_task_failures.cpp.o.d"
+  "ablation_task_failures"
+  "ablation_task_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_task_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

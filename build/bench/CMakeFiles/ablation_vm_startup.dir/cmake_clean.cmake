@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vm_startup.dir/ablation_vm_startup.cpp.o"
+  "CMakeFiles/ablation_vm_startup.dir/ablation_vm_startup.cpp.o.d"
+  "ablation_vm_startup"
+  "ablation_vm_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vm_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

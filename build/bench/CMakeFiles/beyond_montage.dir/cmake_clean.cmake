@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_montage.dir/beyond_montage.cpp.o"
+  "CMakeFiles/beyond_montage.dir/beyond_montage.cpp.o.d"
+  "beyond_montage"
+  "beyond_montage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_montage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

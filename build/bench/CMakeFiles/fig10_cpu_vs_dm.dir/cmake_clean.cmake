@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_vs_dm.dir/fig10_cpu_vs_dm.cpp.o"
+  "CMakeFiles/fig10_cpu_vs_dm.dir/fig10_cpu_vs_dm.cpp.o.d"
+  "fig10_cpu_vs_dm"
+  "fig10_cpu_vs_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_vs_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

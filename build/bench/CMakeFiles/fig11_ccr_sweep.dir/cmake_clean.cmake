@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ccr_sweep.dir/fig11_ccr_sweep.cpp.o"
+  "CMakeFiles/fig11_ccr_sweep.dir/fig11_ccr_sweep.cpp.o.d"
+  "fig11_ccr_sweep"
+  "fig11_ccr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ccr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_montage1_provisioning.dir/fig4_montage1_provisioning.cpp.o"
+  "CMakeFiles/fig4_montage1_provisioning.dir/fig4_montage1_provisioning.cpp.o.d"
+  "fig4_montage1_provisioning"
+  "fig4_montage1_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_montage1_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_montage2_provisioning.dir/fig5_montage2_provisioning.cpp.o"
+  "CMakeFiles/fig5_montage2_provisioning.dir/fig5_montage2_provisioning.cpp.o.d"
+  "fig5_montage2_provisioning"
+  "fig5_montage2_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_montage2_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

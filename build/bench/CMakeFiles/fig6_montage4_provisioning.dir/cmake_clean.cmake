@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_montage4_provisioning.dir/fig6_montage4_provisioning.cpp.o"
+  "CMakeFiles/fig6_montage4_provisioning.dir/fig6_montage4_provisioning.cpp.o.d"
+  "fig6_montage4_provisioning"
+  "fig6_montage4_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_montage4_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_montage1_datamodes.dir/fig7_montage1_datamodes.cpp.o"
+  "CMakeFiles/fig7_montage1_datamodes.dir/fig7_montage1_datamodes.cpp.o.d"
+  "fig7_montage1_datamodes"
+  "fig7_montage1_datamodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_montage1_datamodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

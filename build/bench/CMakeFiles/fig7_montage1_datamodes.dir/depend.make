@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_montage1_datamodes.
+# This may be replaced when dependencies are built.

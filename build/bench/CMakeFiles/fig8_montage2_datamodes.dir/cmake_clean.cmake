@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_montage2_datamodes.dir/fig8_montage2_datamodes.cpp.o"
+  "CMakeFiles/fig8_montage2_datamodes.dir/fig8_montage2_datamodes.cpp.o.d"
+  "fig8_montage2_datamodes"
+  "fig8_montage2_datamodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_montage2_datamodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

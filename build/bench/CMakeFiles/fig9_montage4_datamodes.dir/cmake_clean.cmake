@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_montage4_datamodes.dir/fig9_montage4_datamodes.cpp.o"
+  "CMakeFiles/fig9_montage4_datamodes.dir/fig9_montage4_datamodes.cpp.o.d"
+  "fig9_montage4_datamodes"
+  "fig9_montage4_datamodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_montage4_datamodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

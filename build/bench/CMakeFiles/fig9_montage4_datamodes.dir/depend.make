@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_montage4_datamodes.
+# This may be replaced when dependencies are built.

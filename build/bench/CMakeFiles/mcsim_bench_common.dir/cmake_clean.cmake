@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mcsim_bench_common.dir/common.cpp.o.d"
+  "libmcsim_bench_common.a"
+  "libmcsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

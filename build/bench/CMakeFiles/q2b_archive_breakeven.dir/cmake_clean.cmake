@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q2b_archive_breakeven.dir/q2b_archive_breakeven.cpp.o"
+  "CMakeFiles/q2b_archive_breakeven.dir/q2b_archive_breakeven.cpp.o.d"
+  "q2b_archive_breakeven"
+  "q2b_archive_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q2b_archive_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for q2b_archive_breakeven.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q3_sky_mosaic.dir/q3_sky_mosaic.cpp.o"
+  "CMakeFiles/q3_sky_mosaic.dir/q3_sky_mosaic.cpp.o.d"
+  "q3_sky_mosaic"
+  "q3_sky_mosaic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q3_sky_mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

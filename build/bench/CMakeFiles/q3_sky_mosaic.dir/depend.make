@@ -1,0 +1,2 @@
+# Empty dependencies file for q3_sky_mosaic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_response_times.dir/service_response_times.cpp.o"
+  "CMakeFiles/service_response_times.dir/service_response_times.cpp.o.d"
+  "service_response_times"
+  "service_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

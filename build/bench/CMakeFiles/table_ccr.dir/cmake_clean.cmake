@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_ccr.dir/table_ccr.cpp.o"
+  "CMakeFiles/table_ccr.dir/table_ccr.cpp.o.d"
+  "table_ccr"
+  "table_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

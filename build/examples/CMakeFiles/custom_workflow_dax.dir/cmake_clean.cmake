@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_workflow_dax.dir/custom_workflow_dax.cpp.o"
+  "CMakeFiles/custom_workflow_dax.dir/custom_workflow_dax.cpp.o.d"
+  "custom_workflow_dax"
+  "custom_workflow_dax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_workflow_dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud_broker.dir/multi_cloud_broker.cpp.o"
+  "CMakeFiles/multi_cloud_broker.dir/multi_cloud_broker.cpp.o.d"
+  "multi_cloud_broker"
+  "multi_cloud_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

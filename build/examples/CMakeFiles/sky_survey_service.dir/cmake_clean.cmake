@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_survey_service.dir/sky_survey_service.cpp.o"
+  "CMakeFiles/sky_survey_service.dir/sky_survey_service.cpp.o.d"
+  "sky_survey_service"
+  "sky_survey_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_survey_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

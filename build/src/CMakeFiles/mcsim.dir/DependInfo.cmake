@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcsim/analysis/economics.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/economics.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/economics.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/experiments.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/experiments.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/experiments.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/model.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/model.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/model.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/placement.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/placement.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/placement.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/planner.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/planner.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/planner.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/report.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/report.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/report.cpp.o.d"
+  "/root/repo/src/mcsim/analysis/service.cpp" "src/CMakeFiles/mcsim.dir/mcsim/analysis/service.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/analysis/service.cpp.o.d"
+  "/root/repo/src/mcsim/cloud/billing.cpp" "src/CMakeFiles/mcsim.dir/mcsim/cloud/billing.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/cloud/billing.cpp.o.d"
+  "/root/repo/src/mcsim/cloud/pricing.cpp" "src/CMakeFiles/mcsim.dir/mcsim/cloud/pricing.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/cloud/pricing.cpp.o.d"
+  "/root/repo/src/mcsim/cloud/storage.cpp" "src/CMakeFiles/mcsim.dir/mcsim/cloud/storage.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/cloud/storage.cpp.o.d"
+  "/root/repo/src/mcsim/dag/algorithms.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/algorithms.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/algorithms.cpp.o.d"
+  "/root/repo/src/mcsim/dag/cleanup.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/cleanup.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/cleanup.cpp.o.d"
+  "/root/repo/src/mcsim/dag/dax.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/dax.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/dax.cpp.o.d"
+  "/root/repo/src/mcsim/dag/merge.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/merge.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/merge.cpp.o.d"
+  "/root/repo/src/mcsim/dag/random_dag.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/random_dag.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/random_dag.cpp.o.d"
+  "/root/repo/src/mcsim/dag/stats.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/stats.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/stats.cpp.o.d"
+  "/root/repo/src/mcsim/dag/workflow.cpp" "src/CMakeFiles/mcsim.dir/mcsim/dag/workflow.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/dag/workflow.cpp.o.d"
+  "/root/repo/src/mcsim/engine/engine.cpp" "src/CMakeFiles/mcsim.dir/mcsim/engine/engine.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/engine/engine.cpp.o.d"
+  "/root/repo/src/mcsim/engine/metrics.cpp" "src/CMakeFiles/mcsim.dir/mcsim/engine/metrics.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/engine/metrics.cpp.o.d"
+  "/root/repo/src/mcsim/engine/trace.cpp" "src/CMakeFiles/mcsim.dir/mcsim/engine/trace.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/engine/trace.cpp.o.d"
+  "/root/repo/src/mcsim/engine/trace_export.cpp" "src/CMakeFiles/mcsim.dir/mcsim/engine/trace_export.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/engine/trace_export.cpp.o.d"
+  "/root/repo/src/mcsim/montage/catalog.cpp" "src/CMakeFiles/mcsim.dir/mcsim/montage/catalog.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/montage/catalog.cpp.o.d"
+  "/root/repo/src/mcsim/montage/ccr.cpp" "src/CMakeFiles/mcsim.dir/mcsim/montage/ccr.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/montage/ccr.cpp.o.d"
+  "/root/repo/src/mcsim/montage/factory.cpp" "src/CMakeFiles/mcsim.dir/mcsim/montage/factory.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/montage/factory.cpp.o.d"
+  "/root/repo/src/mcsim/sim/link.cpp" "src/CMakeFiles/mcsim.dir/mcsim/sim/link.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/sim/link.cpp.o.d"
+  "/root/repo/src/mcsim/sim/processor_pool.cpp" "src/CMakeFiles/mcsim.dir/mcsim/sim/processor_pool.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/sim/processor_pool.cpp.o.d"
+  "/root/repo/src/mcsim/sim/simulator.cpp" "src/CMakeFiles/mcsim.dir/mcsim/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/sim/simulator.cpp.o.d"
+  "/root/repo/src/mcsim/util/args.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/args.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/args.cpp.o.d"
+  "/root/repo/src/mcsim/util/csv.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/csv.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/csv.cpp.o.d"
+  "/root/repo/src/mcsim/util/log.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/log.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/log.cpp.o.d"
+  "/root/repo/src/mcsim/util/table.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/table.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/table.cpp.o.d"
+  "/root/repo/src/mcsim/util/units.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/units.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/units.cpp.o.d"
+  "/root/repo/src/mcsim/util/usage_curve.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/usage_curve.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/usage_curve.cpp.o.d"
+  "/root/repo/src/mcsim/util/xml.cpp" "src/CMakeFiles/mcsim.dir/mcsim/util/xml.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/util/xml.cpp.o.d"
+  "/root/repo/src/mcsim/workflows/cybershake.cpp" "src/CMakeFiles/mcsim.dir/mcsim/workflows/cybershake.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/workflows/cybershake.cpp.o.d"
+  "/root/repo/src/mcsim/workflows/epigenomics.cpp" "src/CMakeFiles/mcsim.dir/mcsim/workflows/epigenomics.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/workflows/epigenomics.cpp.o.d"
+  "/root/repo/src/mcsim/workflows/inspiral.cpp" "src/CMakeFiles/mcsim.dir/mcsim/workflows/inspiral.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/workflows/inspiral.cpp.o.d"
+  "/root/repo/src/mcsim/workflows/sipht.cpp" "src/CMakeFiles/mcsim.dir/mcsim/workflows/sipht.cpp.o" "gcc" "src/CMakeFiles/mcsim.dir/mcsim/workflows/sipht.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

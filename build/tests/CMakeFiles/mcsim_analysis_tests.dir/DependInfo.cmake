@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/economics_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/economics_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/economics_test.cpp.o.d"
+  "/root/repo/tests/analysis/experiments_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/experiments_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/experiments_test.cpp.o.d"
+  "/root/repo/tests/analysis/model_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/model_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/model_test.cpp.o.d"
+  "/root/repo/tests/analysis/placement_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/placement_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/placement_test.cpp.o.d"
+  "/root/repo/tests/analysis/planner_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/planner_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/planner_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/service_test.cpp" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/service_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_analysis_tests.dir/analysis/service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/economics_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/economics_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/experiments_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/experiments_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/model_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/model_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/placement_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/placement_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/planner_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/planner_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/service_test.cpp.o"
+  "CMakeFiles/mcsim_analysis_tests.dir/analysis/service_test.cpp.o.d"
+  "mcsim_analysis_tests"
+  "mcsim_analysis_tests.pdb"
+  "mcsim_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

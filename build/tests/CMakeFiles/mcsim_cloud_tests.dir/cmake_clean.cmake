@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/billing_test.cpp.o"
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/billing_test.cpp.o.d"
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/pricing_test.cpp.o"
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/pricing_test.cpp.o.d"
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/storage_test.cpp.o"
+  "CMakeFiles/mcsim_cloud_tests.dir/cloud/storage_test.cpp.o.d"
+  "mcsim_cloud_tests"
+  "mcsim_cloud_tests.pdb"
+  "mcsim_cloud_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_cloud_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dag/algorithms_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/algorithms_test.cpp.o.d"
+  "/root/repo/tests/dag/cleanup_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/cleanup_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/cleanup_test.cpp.o.d"
+  "/root/repo/tests/dag/dax_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/dax_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/dax_test.cpp.o.d"
+  "/root/repo/tests/dag/merge_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/merge_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/merge_test.cpp.o.d"
+  "/root/repo/tests/dag/random_dag_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/random_dag_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/random_dag_test.cpp.o.d"
+  "/root/repo/tests/dag/stats_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/stats_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/stats_test.cpp.o.d"
+  "/root/repo/tests/dag/workflow_test.cpp" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_dag_tests.dir/dag/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

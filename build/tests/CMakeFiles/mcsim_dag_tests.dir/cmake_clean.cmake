@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_dag_tests.dir/dag/algorithms_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/algorithms_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/cleanup_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/cleanup_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/dax_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/dax_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/merge_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/merge_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/random_dag_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/random_dag_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/stats_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/stats_test.cpp.o.d"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/workflow_test.cpp.o"
+  "CMakeFiles/mcsim_dag_tests.dir/dag/workflow_test.cpp.o.d"
+  "mcsim_dag_tests"
+  "mcsim_dag_tests.pdb"
+  "mcsim_dag_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_dag_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

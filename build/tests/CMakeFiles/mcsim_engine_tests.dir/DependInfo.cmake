@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/engine_arrivals_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_arrivals_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_arrivals_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_basic_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_basic_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_basic_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_config_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_config_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_config_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_constraints_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_constraints_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_constraints_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_curve_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_curve_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_curve_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_feature_property_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_feature_property_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_feature_property_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_modes_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_modes_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_modes_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_property_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/engine_property_test.cpp.o.d"
+  "/root/repo/tests/engine/trace_export_test.cpp" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/trace_export_test.cpp.o" "gcc" "tests/CMakeFiles/mcsim_engine_tests.dir/engine/trace_export_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

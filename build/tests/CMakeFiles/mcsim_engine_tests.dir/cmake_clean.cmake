@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_arrivals_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_arrivals_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_basic_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_basic_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_config_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_config_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_constraints_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_constraints_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_curve_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_curve_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_feature_property_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_feature_property_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_modes_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_modes_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_property_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/engine_property_test.cpp.o.d"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/trace_export_test.cpp.o"
+  "CMakeFiles/mcsim_engine_tests.dir/engine/trace_export_test.cpp.o.d"
+  "mcsim_engine_tests"
+  "mcsim_engine_tests.pdb"
+  "mcsim_engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/mcsim_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/mcsim_integration_tests.dir/integration/paper_anchors_test.cpp.o"
+  "CMakeFiles/mcsim_integration_tests.dir/integration/paper_anchors_test.cpp.o.d"
+  "mcsim_integration_tests"
+  "mcsim_integration_tests.pdb"
+  "mcsim_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_montage_tests.dir/montage/catalog_test.cpp.o"
+  "CMakeFiles/mcsim_montage_tests.dir/montage/catalog_test.cpp.o.d"
+  "CMakeFiles/mcsim_montage_tests.dir/montage/ccr_test.cpp.o"
+  "CMakeFiles/mcsim_montage_tests.dir/montage/ccr_test.cpp.o.d"
+  "CMakeFiles/mcsim_montage_tests.dir/montage/factory_test.cpp.o"
+  "CMakeFiles/mcsim_montage_tests.dir/montage/factory_test.cpp.o.d"
+  "mcsim_montage_tests"
+  "mcsim_montage_tests.pdb"
+  "mcsim_montage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_montage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

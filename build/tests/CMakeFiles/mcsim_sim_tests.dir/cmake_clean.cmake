@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_sim_tests.dir/sim/link_test.cpp.o"
+  "CMakeFiles/mcsim_sim_tests.dir/sim/link_test.cpp.o.d"
+  "CMakeFiles/mcsim_sim_tests.dir/sim/processor_pool_test.cpp.o"
+  "CMakeFiles/mcsim_sim_tests.dir/sim/processor_pool_test.cpp.o.d"
+  "CMakeFiles/mcsim_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/mcsim_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "mcsim_sim_tests"
+  "mcsim_sim_tests.pdb"
+  "mcsim_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

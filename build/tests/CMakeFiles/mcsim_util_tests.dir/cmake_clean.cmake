@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_util_tests.dir/util/args_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/args_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/log_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/log_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/units_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/units_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/usage_curve_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/usage_curve_test.cpp.o.d"
+  "CMakeFiles/mcsim_util_tests.dir/util/xml_test.cpp.o"
+  "CMakeFiles/mcsim_util_tests.dir/util/xml_test.cpp.o.d"
+  "mcsim_util_tests"
+  "mcsim_util_tests.pdb"
+  "mcsim_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_workflows_tests.dir/workflows/gallery_scaling_test.cpp.o"
+  "CMakeFiles/mcsim_workflows_tests.dir/workflows/gallery_scaling_test.cpp.o.d"
+  "CMakeFiles/mcsim_workflows_tests.dir/workflows/gallery_test.cpp.o"
+  "CMakeFiles/mcsim_workflows_tests.dir/workflows/gallery_test.cpp.o.d"
+  "mcsim_workflows_tests"
+  "mcsim_workflows_tests.pdb"
+  "mcsim_workflows_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_workflows_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

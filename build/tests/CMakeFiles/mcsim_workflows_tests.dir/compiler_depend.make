@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcsim_workflows_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mcsim_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_dag_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_montage_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_cloud_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_engine_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_workflows_tests[1]_include.cmake")
+include("/root/repo/build/tests/mcsim_integration_tests[1]_include.cmake")

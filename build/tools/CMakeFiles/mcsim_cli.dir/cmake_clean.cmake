@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_cli.dir/mcsim_cli.cpp.o"
+  "CMakeFiles/mcsim_cli.dir/mcsim_cli.cpp.o.d"
+  "mcsim"
+  "mcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
