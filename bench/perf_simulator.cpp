@@ -7,6 +7,7 @@
 #include "mcsim/dag/random_dag.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"
+#include "mcsim/obs/sink.hpp"
 #include "mcsim/sim/link.hpp"
 #include "mcsim/sim/simulator.hpp"
 
@@ -55,6 +56,41 @@ void BM_MontageSimulation(benchmark::State& state) {
   state.SetLabel(wf.name() + " (" + std::to_string(wf.taskCount()) + " tasks)");
 }
 BENCHMARK(BM_MontageSimulation)->Arg(1)->Arg(2)->Arg(4);
+
+// The telemetry-enabled twin of BM_MontageSimulation: same workflow, but a
+// flight recorder observing every event.  The delta against the plain run is
+// the full cost of the instrumentation when a sink is attached; the plain run
+// measures the disabled path (a null-pointer check per emit site).
+void BM_MontageSimulationObserved(benchmark::State& state) {
+  const double degrees = static_cast<double>(state.range(0));
+  const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+  for (auto _ : state) {
+    obs::RingBufferSink ring(1 << 14);
+    engine::EngineConfig cfg;
+    cfg.processors = 16;
+    cfg.observer = &ring;
+    const auto r = engine::simulateWorkflow(wf, cfg);
+    benchmark::DoNotOptimize(r.makespanSeconds);
+    benchmark::DoNotOptimize(ring.size() + ring.dropped());
+  }
+}
+BENCHMARK(BM_MontageSimulationObserved)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EventQueueThroughputObserved(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    obs::RingBufferSink ring(1 << 12);
+    sim::Simulator simulator;
+    simulator.setObserver(&ring);
+    long counter = 0;
+    for (int i = 0; i < events; ++i)
+      simulator.schedule((i * 37) % 1000, [&counter] { ++counter; });
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughputObserved)->Arg(1000)->Arg(100000);
 
 void BM_MontageRemoteIoSimulation(benchmark::State& state) {
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);

@@ -2,14 +2,19 @@
 // on an 8-processor cloud allocation, and price it with the 2008 Amazon fee
 // structure.
 //
-//   ./examples/quickstart [degrees] [processors]
+//   ./examples/quickstart [degrees] [processors] [telemetry-dir]
+//
+// With a third argument, the run is observed end to end: events.jsonl,
+// metrics.prom and report.json land in that directory.
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/engine/trace.hpp"
 #include "mcsim/montage/factory.hpp"
+#include "mcsim/obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;
@@ -30,6 +35,15 @@ int main(int argc, char** argv) {
   cfg.mode = engine::DataMode::DynamicCleanup;  // the paper's cheapest mode
   cfg.processors = processors;
   cfg.trace = true;
+
+  // Optional: observe the run.  One sink handed to the engine captures
+  // every event; finish() below turns them into the on-disk artifacts.
+  std::optional<obs::TelemetrySession> telemetry;
+  if (argc > 3) {
+    telemetry.emplace(obs::TelemetryOptions{argv[3]});
+    cfg.observer = telemetry->sink();
+    cfg.samplePeriodSeconds = 60.0;
+  }
 
   // 3. Simulate.
   const engine::ExecutionResult result = engine::simulateWorkflow(wf, cfg);
@@ -56,5 +70,13 @@ int main(int argc, char** argv) {
             analysis::moneyCell(usage.transferOut),
             analysis::moneyCell(usage.total())});
   t.print(std::cout);
+
+  if (telemetry) {
+    const obs::RunReport report = telemetry->finish(
+        wf, result, amazon, cloud::CpuBillingMode::Provisioned);
+    std::cout << "\ntelemetry written to " << argv[3] << " ("
+              << report.byTask.size() << " tasks attributed, report total "
+              << formatMoney(report.totals.total()) << ")\n";
+  }
   return 0;
 }

@@ -1,0 +1,97 @@
+// Telemetry tour: what the obs layer can tell you about a run without
+// writing a single file.
+//
+// Simulates the paper's 1-degree Montage mosaic under dynamic cleanup and
+// observes it three ways at once through one fan-out sink:
+//   * a RingBufferSink flight recorder holding the last events of the run,
+//   * a MetricsSink feeding a registry (printed as Prometheus text),
+//   * a ReportBuilder attributing every cent to a task / level / resource.
+//
+//   ./examples/telemetry_tour [degrees] [processors]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "mcsim/analysis/report.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/montage/factory.hpp"
+#include "mcsim/obs/metrics.hpp"
+#include "mcsim/obs/report.hpp"
+#include "mcsim/obs/sink.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcsim;
+
+  const double degrees = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const int processors = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
+
+  // One sink fans out to three consumers; the engine sees a single Sink*.
+  obs::RingBufferSink recorder(512);
+  obs::MetricsRegistry registry;
+  obs::MetricsSink metrics(registry);
+  obs::ReportBuilder reportBuilder;
+  obs::FanOutSink fan({&recorder, &metrics, &reportBuilder});
+
+  engine::EngineConfig cfg;
+  cfg.mode = engine::DataMode::DynamicCleanup;
+  cfg.processors = processors;
+  cfg.observer = &fan;
+  cfg.samplePeriodSeconds = 120.0;
+
+  const engine::ExecutionResult result = engine::simulateWorkflow(wf, cfg);
+
+  // 1. The flight recorder: the tail of the event stream, typed.
+  std::cout << "flight recorder: " << recorder.size() << " events retained, "
+            << recorder.dropped() << " older ones dropped\n";
+  std::cout << "  of which " << recorder.countOf<obs::TaskFinished>()
+            << " task completions, "
+            << recorder.countOf<obs::TransferFinished>()
+            << " finished transfers, "
+            << recorder.countOf<obs::FileCleanupDeleted>()
+            << " cleanup deletions\n\n";
+
+  // 2. The metrics registry, in the text form Prometheus scrapes.
+  std::cout << "metrics exposition:\n";
+  registry.writePrometheus(std::cout);
+
+  // 3. Cost attribution: who spent the money?
+  const obs::RunReport report = reportBuilder.build(
+      wf, result, cloud::Pricing::amazon2008(),
+      cloud::CpuBillingMode::Usage);
+
+  std::cout << "\ncost by level (usage billing, level 0 = staging):\n";
+  Table levels({"level", "tasks", "cpu", "storage", "in", "out", "total"});
+  for (const obs::LevelCost& l : report.byLevel) {
+    levels.addRow({std::to_string(l.level), std::to_string(l.tasks),
+                   analysis::moneyCell(l.cost.cpu),
+                   analysis::moneyCell(l.cost.storage),
+                   analysis::moneyCell(l.cost.transferIn),
+                   analysis::moneyCell(l.cost.transferOut),
+                   analysis::moneyCell(l.cost.total())});
+  }
+  levels.print(std::cout);
+
+  std::vector<obs::TaskCost> ranked = report.byTask;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const obs::TaskCost& a, const obs::TaskCost& b) {
+              return a.cost.total().value() > b.cost.total().value();
+            });
+  if (ranked.size() > 5) ranked.resize(5);
+  std::cout << "\nmost expensive tasks:\n";
+  Table top({"task", "type", "level", "total"});
+  for (const obs::TaskCost& t : ranked)
+    top.addRow({t.name, t.type, std::to_string(t.level),
+                analysis::moneyCell(t.cost.total())});
+  top.print(std::cout);
+
+  std::cout << "\nreport total " << formatMoney(report.totals.total())
+            << " (engine total "
+            << formatMoney(engine::computeCost(result,
+                                               cloud::Pricing::amazon2008(),
+                                               cloud::CpuBillingMode::Usage)
+                               .total())
+            << ") -- identical by construction\n";
+  return 0;
+}

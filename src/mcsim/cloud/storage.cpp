@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim::cloud {
 
 StorageService::StorageService(sim::Simulator& sim, Bytes capacity)
@@ -22,6 +24,10 @@ void StorageService::put(std::uint64_t key, Bytes size) {
   }
   residentBytes_ += size.value();
   curve_.add(sim_.now(), size);
+  if (observer_)
+    observer_->onEvent(obs::Event{
+        sim_.now(), obs::StorageFilePut{key, size.value(), residentBytes_,
+                                        objects_.size()}});
 }
 
 void StorageService::erase(std::uint64_t key) {
@@ -31,7 +37,12 @@ void StorageService::erase(std::uint64_t key) {
                            std::to_string(key) + " not resident");
   residentBytes_ -= it->second;
   curve_.remove(sim_.now(), Bytes(it->second));
+  const double bytes = it->second;
   objects_.erase(it);
+  if (observer_)
+    observer_->onEvent(obs::Event{
+        sim_.now(),
+        obs::StorageFileErased{key, bytes, residentBytes_, objects_.size()}});
 }
 
 bool StorageService::contains(std::uint64_t key) const {

@@ -17,6 +17,10 @@
 #include "mcsim/util/units.hpp"
 #include "mcsim/util/usage_curve.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::cloud {
 
 class StorageService {
@@ -47,12 +51,16 @@ class StorageService {
 
   const UsageCurve& curve() const { return curve_; }
 
+  /// Install a telemetry sink (file create / delete); nullptr disables.
+  void setObserver(obs::Sink* observer) { observer_ = observer; }
+
  private:
   sim::Simulator& sim_;
   Bytes capacity_;
   std::unordered_map<std::uint64_t, double> objects_;
   double residentBytes_ = 0.0;
   UsageCurve curve_;
+  obs::Sink* observer_ = nullptr;
 };
 
 }  // namespace mcsim::cloud

@@ -12,6 +12,9 @@
 #include "mcsim/cloud/storage.hpp"
 #include "mcsim/dag/cleanup.hpp"
 #include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/trace_export.hpp"
+#include "mcsim/obs/sampler.hpp"
+#include "mcsim/obs/sink.hpp"
 #include "mcsim/sim/simulator.hpp"
 #include "mcsim/util/rng.hpp"
 
@@ -36,6 +39,22 @@ class Run {
                            ? Bytes(cfg.storageCapacityBytes)
                            : Bytes(std::numeric_limits<double>::infinity())) {
     if (cfg.taskFailureProbability > 0.0) failureRng_.emplace(cfg.failureSeed);
+    // Tracing is an event consumer: cfg.trace installs an internal
+    // TimelineSink next to the user's observer.
+    if (cfg.trace) {
+      timeline_.emplace(wf.taskCount());
+      fan_.add(&*timeline_);
+      fan_.add(cfg.observer);  // add() ignores nullptr
+      obs_ = &fan_;
+    } else {
+      obs_ = cfg.observer;
+    }
+    sim_.setObserver(cfg.observer);
+    link_.setObserver(cfg.observer);
+    storage_.setObserver(cfg.observer);
+    // Billing attribution keeps a per-object residency map; skip all of that
+    // bookkeeping unless some sink actually wants the line items.
+    billed_ = obs_ != nullptr && obs_->accepts(obs::EventKind::BillingLineItem);
   }
 
   /// Argument validation, ahead of any member construction that assumes a
@@ -52,11 +71,20 @@ class Run {
     if (cfg.taskFailureProbability < 0.0 || cfg.taskFailureProbability >= 1.0)
       throw std::invalid_argument(
           "simulateWorkflow: task failure probability must be in [0, 1)");
+    if (cfg.samplePeriodSeconds < 0.0)
+      throw std::invalid_argument("simulateWorkflow: negative sample period");
   }
 
   ExecutionResult execute() {
     prepare();
     scheduleOutages();
+    if (obs_ != nullptr && cfg_.samplePeriodSeconds > 0.0) {
+      sampler_.emplace(sim_, cfg_.samplePeriodSeconds, [this] {
+        emit(obs::StorageSampled{storage_.residentBytes().value(),
+                                 storage_.objectCount()});
+      });
+      sampler_->start();
+    }
     sim_.schedule(cfg_.vmStartupSeconds, [this] { begin(); });
     sim_.run();
     if (!finished_) {
@@ -78,6 +106,7 @@ class Run {
     result_.storageByteSeconds = storage_.curve().integralByteSeconds(endTime_);
     result_.peakStorageBytes = storage_.peakBytes();
     result_.storageCurve = storage_.curve();
+    if (timeline_) result_.taskRecords = timeline_->take();
     return result_;
   }
 
@@ -115,7 +144,6 @@ class Run {
 
     freeProcessors_ = cfg_.processors;
     tasksRemaining_ = nTasks;
-    if (cfg_.trace) result_.taskRecords.resize(nTasks);
   }
 
   void scheduleOutages() {
@@ -128,6 +156,35 @@ class Run {
     }
   }
 
+  // -- telemetry ---------------------------------------------------------------
+  template <class Payload>
+  void emit(Payload&& payload) {
+    if (obs_ != nullptr)
+      obs_->onEvent(obs::Event{sim_.now(), std::forward<Payload>(payload)});
+  }
+
+  void bill(obs::Resource resource, std::uint32_t task, double quantity) {
+    if (billed_) emit(obs::BillingLineItem{resource, task, quantity});
+  }
+
+  /// Billing attribution of storage residency: remember who put the object
+  /// and when, and convert that into byte-seconds when it is erased.  The
+  /// per-key sum over a run equals the usage-curve integral (same additions,
+  /// grouped by object instead of by time).
+  void noteStored(std::uint64_t key, std::uint32_t task, double bytes) {
+    if (billed_) stored_.emplace(key, StoredObject{sim_.now(), task, bytes});
+  }
+  void billErase(std::uint64_t key) {
+    if (!billed_) return;
+    auto it = stored_.find(key);
+    if (it == stored_.end()) return;
+    bill(obs::Resource::Storage, it->second.task,
+         it->second.bytes * (sim_.now() - it->second.createdAt));
+    stored_.erase(it);
+  }
+
+  std::size_t queuedTasks() const { return ready_.size() + blocked_.size(); }
+
   // -- common machinery --------------------------------------------------------
   void accrueBusy() {
     busyIntegral_ += static_cast<double>(busyCount_) * (sim_.now() - busyLast_);
@@ -137,15 +194,18 @@ class Run {
     accrueBusy();
     ++busyCount_;
     --freeProcessors_;
+    emit(obs::ProcessorClaimed{busyCount_, cfg_.processors, queuedTasks()});
   }
   void releaseProcessor() {
     accrueBusy();
     --busyCount_;
     ++freeProcessors_;
+    emit(obs::ProcessorReleased{busyCount_, cfg_.processors, queuedTasks()});
   }
 
   void begin() {
     busyLast_ = sim_.now();
+    emit(obs::RunStarted{wf_.taskCount(), wf_.fileCount(), cfg_.processors});
     if (tasksRemaining_ == 0) {
       beginStageOut();
       return;
@@ -168,6 +228,7 @@ class Run {
         reservedBytes_ += wf_.externalInputBytes().value();
       for (FileId f : wf_.externalInputs()) {
         const Bytes size = wf_.file(f).size;
+        emit(obs::StageInStarted{f, obs::kNoTask, size.value()});
         link_.startTransfer(size, [this, f, size] {
           result_.bytesIn += size;
           ++result_.transfersIn;
@@ -181,6 +242,9 @@ class Run {
                 "too small for the workflow's external inputs ('" +
                 wf_.file(f).name + "' does not fit)");
           }
+          noteStored(f, obs::kNoTask, size.value());
+          emit(obs::StageInFinished{f, obs::kNoTask, size.value()});
+          bill(obs::Resource::TransferIn, obs::kNoTask, size.value());
           onExternalFileArrived(f);
         });
       }
@@ -200,7 +264,7 @@ class Run {
   }
 
   void markReady(TaskId id) {
-    if (cfg_.trace) result_.taskRecords[id].readyTime = sim_.now();
+    emit(obs::TaskReady{id});
     const double rank = cfg_.scheduler == SchedulerPolicy::CriticalPathFirst
                             ? upwardRank_[id]
                             : 0.0;
@@ -248,12 +312,13 @@ class Run {
         // Defer until space frees up; backfill with later ready tasks.
         blocked_.push_back(entry);
         ++result_.tasksEverBlocked;
+        emit(obs::TaskBlocked{entry.id});
         continue;
       }
       if (cfg_.storageCapacityBytes > 0.0)
         reservedBytes_ += storageDemand(entry.id);
       claimProcessor();
-      if (cfg_.trace) result_.taskRecords[entry.id].startTime = sim_.now();
+      emit(obs::TaskStarted{entry.id});
       if (cfg_.mode == DataMode::RemoteIO) startRemote(entry.id);
       else startRegular(entry.id);
     }
@@ -270,7 +335,7 @@ class Run {
 
   /// Dependency bookkeeping after a task is fully complete.
   void completeTask(TaskId id) {
-    if (cfg_.trace) result_.taskRecords[id].finishTime = sim_.now();
+    emit(obs::TaskFinished{id, wf_.task(id).runtimeSeconds});
     ++result_.tasksExecuted;
     releaseProcessor();
     for (TaskId c : wf_.task(id).children)
@@ -282,7 +347,7 @@ class Run {
   // -- regular / cleanup path ---------------------------------------------------
   void startRegular(TaskId id) {
     const dag::Task& t = wf_.task(id);
-    if (cfg_.trace) result_.taskRecords[id].execStart = sim_.now();
+    emit(obs::TaskExecStarted{id});
     sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRegular(id); });
   }
 
@@ -294,6 +359,8 @@ class Run {
       return false;
     result_.cpuBusySeconds += t.runtimeSeconds;  // the failed attempt
     ++result_.taskRetries;
+    emit(obs::TaskRetried{id});
+    bill(obs::Resource::Cpu, id, t.runtimeSeconds);
     sim_.scheduleAfter(t.runtimeSeconds,
                        [this, id, retry] { (this->*retry)(id); });
     return true;
@@ -303,7 +370,12 @@ class Run {
     if (attemptFails(id, &Run::finishRegular)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
-    for (FileId f : t.outputs) storage_.put(f, wf_.file(f).size);
+    bill(obs::Resource::Cpu, id, t.runtimeSeconds);
+    for (FileId f : t.outputs) {
+      const Bytes size = wf_.file(f).size;
+      storage_.put(f, size);
+      noteStored(f, id, size.value());
+    }
     if (cfg_.storageCapacityBytes > 0.0)
       reservedBytes_ -= storageDemand(id);  // materialized: now counted as
                                             // resident instead
@@ -313,7 +385,10 @@ class Run {
         if (remainingUses_[f] == 0)
           throw std::logic_error("engine: cleanup refcount underflow");
         if (--remainingUses_[f] == 0 && !plan_.isOutput[f]) {
+          const double bytes = storage_.sizeOf(f).value();
           storage_.erase(f);
+          billErase(f);
+          emit(obs::FileCleanupDeleted{f, id, bytes});
           freed = true;
         }
       }
@@ -336,9 +411,12 @@ class Run {
     }
     for (FileId f : t.inputs) {
       const Bytes size = wf_.file(f).size;
-      link_.startTransfer(size, [this, id, size] {
+      emit(obs::StageInStarted{f, id, size.value()});
+      link_.startTransfer(size, [this, id, f, size] {
         result_.bytesIn += size;
         ++result_.transfersIn;
+        emit(obs::StageInFinished{f, id, size.value()});
+        bill(obs::Resource::TransferIn, id, size.value());
         if (--pendingIo_[id] == 0) execRemote(id);
       });
     }
@@ -346,12 +424,13 @@ class Run {
 
   void execRemote(TaskId id) {
     const dag::Task& t = wf_.task(id);
-    if (cfg_.trace) result_.taskRecords[id].execStart = sim_.now();
+    emit(obs::TaskExecStarted{id});
     auto& keys = remoteKeys_[id];
     keys.clear();
     for (FileId f : t.inputs) {
       const std::uint64_t key = nextObjectKey_++;
       storage_.put(key, wf_.file(f).size);
+      noteStored(key, id, wf_.file(f).size.value());
       keys.push_back(key);
     }
     sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRemote(id); });
@@ -361,7 +440,11 @@ class Run {
     if (attemptFails(id, &Run::finishRemote)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
-    for (std::uint64_t key : remoteKeys_[id]) storage_.erase(key);
+    bill(obs::Resource::Cpu, id, t.runtimeSeconds);
+    for (std::uint64_t key : remoteKeys_[id]) {
+      storage_.erase(key);
+      billErase(key);
+    }
     if (cfg_.storageCapacityBytes > 0.0)
       reservedBytes_ -= storageDemand(id);  // outputs materialize below
     if (!t.inputs.empty()) unblock();
@@ -375,10 +458,15 @@ class Run {
       const Bytes size = wf_.file(f).size;
       const std::uint64_t key = nextObjectKey_++;
       storage_.put(key, size);
-      link_.startTransfer(size, [this, id, key, size] {
+      noteStored(key, id, size.value());
+      emit(obs::StageOutStarted{f, id, size.value()});
+      link_.startTransfer(size, [this, id, f, key, size] {
         result_.bytesOut += size;
         ++result_.transfersOut;
         storage_.erase(key);
+        billErase(key);
+        emit(obs::StageOutFinished{f, id, size.value()});
+        bill(obs::Resource::TransferOut, id, size.value());
         unblock();
         if (--pendingIo_[id] == 0) teardownRemote(id);
       });
@@ -405,9 +493,12 @@ class Run {
     }
     for (FileId f : outputs) {
       const Bytes size = wf_.file(f).size;
-      link_.startTransfer(size, [this, size] {
+      emit(obs::StageOutStarted{f, obs::kNoTask, size.value()});
+      link_.startTransfer(size, [this, f, size] {
         result_.bytesOut += size;
         ++result_.transfersOut;
+        emit(obs::StageOutFinished{f, obs::kNoTask, size.value()});
+        bill(obs::Resource::TransferOut, obs::kNoTask, size.value());
         if (--pendingStageOut_ == 0) sweepStorageAndFinish();
       });
     }
@@ -416,7 +507,10 @@ class Run {
   void sweepStorageAndFinish() {
     // "After that ... all the files are deleted from the storage resource."
     for (FileId f = 0; f < static_cast<FileId>(wf_.fileCount()); ++f)
-      if (storage_.contains(f)) storage_.erase(f);
+      if (storage_.contains(f)) {
+        storage_.erase(f);
+        billErase(f);
+      }
     finish();
   }
 
@@ -424,6 +518,8 @@ class Run {
     accrueBusy();
     finished_ = true;
     endTime_ = sim_.now();
+    if (sampler_) sampler_->stop();
+    emit(obs::RunFinished{sim_.now()});
   }
 
   // -- data -------------------------------------------------------------------------
@@ -472,6 +568,21 @@ class Run {
   int busyCount_ = 0;
   double busyIntegral_ = 0.0;
   double busyLast_ = 0.0;
+
+  /// Telemetry plumbing.  obs_ is what the engine emits to: the fan-out of
+  /// the internal timeline sink and the configured observer when tracing,
+  /// else the observer directly (nullptr = fully disabled).
+  obs::FanOutSink fan_;
+  std::optional<TimelineSink> timeline_;
+  obs::Sink* obs_ = nullptr;
+  bool billed_ = false;
+  std::optional<obs::PeriodicSampler> sampler_;
+  struct StoredObject {
+    double createdAt;
+    std::uint32_t task;
+    double bytes;
+  };
+  std::unordered_map<std::uint64_t, StoredObject> stored_;
 
   bool finished_ = false;
   double endTime_ = 0.0;

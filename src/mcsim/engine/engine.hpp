@@ -26,6 +26,10 @@
 #include "mcsim/engine/metrics.hpp"
 #include "mcsim/sim/link.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::engine {
 
 /// Dispatch order for ready tasks competing for processors.
@@ -72,8 +76,18 @@ struct EngineConfig {
   /// billed.  Deterministic per `failureSeed`.
   double taskFailureProbability = 0.0;
   std::uint64_t failureSeed = 1;
-  /// Record per-task timelines in ExecutionResult::taskRecords.
+  /// Record per-task timelines in ExecutionResult::taskRecords (implemented
+  /// as an internal obs::Sink consuming the task lifecycle events).
   bool trace = false;
+  /// Telemetry sink observing the run: the engine emits task lifecycle,
+  /// staging, cleanup and billing-line-item events and installs the sink on
+  /// its simulator, link and storage.  nullptr (default) disables all
+  /// instrumentation at the cost of one pointer test per site.  The sink is
+  /// borrowed; it must outlive simulateWorkflow.
+  obs::Sink* observer = nullptr;
+  /// > 0: emit obs::StorageSampled every this many simulated seconds while
+  /// the run is active (requires `observer`).  0 disables sampling.
+  double samplePeriodSeconds = 0.0;
 };
 
 /// Simulate one execution of `workflow` (must be finalized) and return its

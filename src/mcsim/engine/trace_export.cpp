@@ -47,6 +47,30 @@ std::string jsonEscape(const std::string& s) {
 
 }  // namespace
 
+void TimelineSink::onEvent(const obs::Event& event) {
+  const auto at = [&](std::uint32_t task) -> TaskRecord& {
+    return records_.at(task);
+  };
+  switch (obs::kind(event)) {
+    case obs::EventKind::TaskReady:
+      at(std::get<obs::TaskReady>(event.payload).task).readyTime = event.time;
+      break;
+    case obs::EventKind::TaskStarted:
+      at(std::get<obs::TaskStarted>(event.payload).task).startTime = event.time;
+      break;
+    case obs::EventKind::TaskExecStarted: {
+      TaskRecord& r = at(std::get<obs::TaskExecStarted>(event.payload).task);
+      if (r.execStart < 0.0) r.execStart = event.time;
+      break;
+    }
+    case obs::EventKind::TaskFinished:
+      at(std::get<obs::TaskFinished>(event.payload).task).finishTime =
+          event.time;
+      break;
+    default: break;
+  }
+}
+
 void writeTraceCsv(std::ostream& os, const dag::Workflow& wf,
                    const ExecutionResult& result) {
   requireTrace(result, "writeTraceCsv");

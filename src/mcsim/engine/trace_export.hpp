@@ -5,14 +5,44 @@
 // each provisioned processor appears as a "thread" and tasks as complete
 // events — the fastest way to *see* why a provisioning plan behaves the way
 // it does.
+//
+// Timelines are assembled from the obs event stream: TimelineSink folds the
+// engine's task lifecycle events into TaskRecord rows, and the engine's
+// `trace` option is implemented by installing one internally — tracing is an
+// event consumer like any other, not a parallel bookkeeping path.
 #pragma once
 
 #include <ostream>
+#include <vector>
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/metrics.hpp"
+#include "mcsim/obs/sink.hpp"
 
 namespace mcsim::engine {
+
+/// Folds TaskReady/TaskStarted/TaskExecStarted/TaskFinished events into
+/// per-task timelines.  Retried attempts keep the first exec start, matching
+/// the historical TaskRecord semantics (the record spans the whole billed
+/// occupancy of the task).
+class TimelineSink final : public obs::Sink {
+ public:
+  explicit TimelineSink(std::size_t taskCount) : records_(taskCount) {}
+
+  void onEvent(const obs::Event& event) override;
+  bool accepts(obs::EventKind kind) const override {
+    return kind == obs::EventKind::TaskReady ||
+           kind == obs::EventKind::TaskStarted ||
+           kind == obs::EventKind::TaskExecStarted ||
+           kind == obs::EventKind::TaskFinished;
+  }
+
+  const std::vector<TaskRecord>& records() const { return records_; }
+  std::vector<TaskRecord> take() { return std::move(records_); }
+
+ private:
+  std::vector<TaskRecord> records_;
+};
 
 /// CSV: task,type,level,ready_s,start_s,exec_start_s,finish_s.
 /// Requires a traced result (EngineConfig::trace).

@@ -1,0 +1,240 @@
+// Typed telemetry events — the vocabulary of the observability layer.
+//
+// Every instrumented component (simulator calendar, link, processor pool,
+// storage service, execution engine, logger) describes what happened as one
+// of the payload structs below; an `Event` stamps the payload with the
+// simulation time.  Payloads are plain structs of ids and numbers — no
+// strings are formatted at the emit site, so a disabled observer costs one
+// branch and an enabled one costs a variant construction.  Exporters
+// (JSONL, metrics, report) attach meaning downstream.
+//
+// This header sits below every other mcsim module: it may not include
+// sim/, cloud/, engine/ or dag/ headers.  Ids are therefore raw integers
+// (they mirror sim::EventId, Link::TransferId, dag::TaskId / FileId and
+// storage keys without naming those types).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mcsim::obs {
+
+/// Mirrors dag::kNoTask: a line item or transfer not attributable to a
+/// single task (global stage-in/out of the workflow).
+inline constexpr std::uint32_t kNoTask = 0xffffffffu;
+
+// -- simulator calendar -------------------------------------------------------
+struct SimEventScheduled {
+  std::uint64_t event;
+  double fireAt;
+};
+struct SimEventFired {
+  std::uint64_t event;
+};
+struct SimEventCancelled {
+  std::uint64_t event;
+};
+
+// -- network link -------------------------------------------------------------
+struct TransferStarted {
+  std::uint64_t transfer;
+  double bytes;
+  std::size_t active;  ///< Concurrent transfers, including this one.
+};
+/// High-volume: emitted per active transfer whenever the link re-credits
+/// progress.  Sinks opt in via accepts(EventKind::TransferProgress).
+struct TransferProgress {
+  std::uint64_t transfer;
+  double remainingBytes;
+};
+struct TransferFinished {
+  std::uint64_t transfer;
+  double bytes;
+  double seconds;  ///< Wall-clock (sim) duration of the transfer.
+};
+struct LinkShareChanged {
+  std::size_t active;
+  double bytesPerSecondEach;  ///< Per-transfer rate after the change.
+};
+struct LinkSuspended {};
+struct LinkResumed {};
+
+// -- processor pool -----------------------------------------------------------
+struct ProcessorClaimed {
+  int busy;
+  int total;
+  std::size_t queued;
+};
+struct ProcessorReleased {
+  int busy;
+  int total;
+  std::size_t queued;
+};
+struct ProcessorQueued {
+  std::size_t queued;  ///< Queue depth after enqueueing this request.
+};
+
+// -- cloud storage ------------------------------------------------------------
+struct StorageFilePut {
+  std::uint64_t key;
+  double bytes;
+  double residentBytes;  ///< After the put.
+  std::size_t objects;
+};
+struct StorageFileErased {
+  std::uint64_t key;
+  double bytes;
+  double residentBytes;  ///< After the erase.
+  std::size_t objects;
+};
+/// Periodic resident-bytes sample (obs::PeriodicSampler through the engine).
+struct StorageSampled {
+  double residentBytes;
+  std::size_t objects;
+};
+
+// -- execution engine ---------------------------------------------------------
+struct RunStarted {
+  std::size_t tasks;
+  std::size_t files;
+  int processors;
+};
+struct RunFinished {
+  double seconds;  ///< End of the last stage-out (excludes VM teardown).
+};
+struct TaskReady {
+  std::uint32_t task;
+};
+struct TaskStarted {
+  std::uint32_t task;  ///< Processor claimed (remote I/O: stage-in begins).
+};
+struct TaskExecStarted {
+  std::uint32_t task;  ///< Computation begins.
+};
+struct TaskFinished {
+  std::uint32_t task;
+  double cpuSeconds;  ///< Billed runtime of the successful attempt.
+};
+struct TaskRetried {
+  std::uint32_t task;  ///< A failure-injected attempt is being re-executed.
+};
+struct TaskBlocked {
+  std::uint32_t task;  ///< Dispatch deferred: would overflow storage capacity.
+};
+struct StageInStarted {
+  std::uint32_t file;
+  std::uint32_t task;  ///< kNoTask for the global t=0 stage-in.
+  double bytes;
+};
+struct StageInFinished {
+  std::uint32_t file;
+  std::uint32_t task;
+  double bytes;
+};
+struct StageOutStarted {
+  std::uint32_t file;
+  std::uint32_t task;  ///< kNoTask for the final workflow stage-out.
+  double bytes;
+};
+struct StageOutFinished {
+  std::uint32_t file;
+  std::uint32_t task;
+  double bytes;
+};
+struct FileCleanupDeleted {
+  std::uint32_t file;
+  std::uint32_t task;  ///< The last consumer whose completion freed the file.
+  double bytes;
+};
+
+/// What a billing line item's `quantity` is denominated in.
+enum class Resource : std::uint8_t {
+  Cpu,          ///< quantity = CPU seconds.
+  Storage,      ///< quantity = byte-seconds of residency.
+  TransferIn,   ///< quantity = bytes user/archive -> cloud.
+  TransferOut,  ///< quantity = bytes cloud -> user.
+};
+const char* resourceName(Resource resource);
+
+/// A unit of billable consumption, attributed to the task that caused it
+/// (kNoTask = workflow-level staging).  Dollars are applied downstream by
+/// obs::ReportBuilder so the engine never needs a fee schedule.
+struct BillingLineItem {
+  Resource resource;
+  std::uint32_t task;
+  double quantity;
+};
+
+// -- logging ------------------------------------------------------------------
+/// A util/log message routed through the event bus (satellite of the single
+/// logging path).  `level` is the integer value of mcsim::LogLevel.
+struct LogEmitted {
+  int level;
+  std::string message;
+};
+
+/// All payloads.  Order defines EventKind and is part of the taxonomy —
+/// append, don't reorder.
+using Payload = std::variant<
+    SimEventScheduled, SimEventFired, SimEventCancelled, TransferStarted,
+    TransferProgress, TransferFinished, LinkShareChanged, LinkSuspended,
+    LinkResumed, ProcessorClaimed, ProcessorReleased, ProcessorQueued,
+    StorageFilePut, StorageFileErased, StorageSampled, RunStarted, RunFinished,
+    TaskReady, TaskStarted, TaskExecStarted, TaskFinished, TaskRetried,
+    TaskBlocked, StageInStarted, StageInFinished, StageOutStarted,
+    StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted>;
+
+enum class EventKind : std::uint8_t {
+  SimEventScheduled,
+  SimEventFired,
+  SimEventCancelled,
+  TransferStarted,
+  TransferProgress,
+  TransferFinished,
+  LinkShareChanged,
+  LinkSuspended,
+  LinkResumed,
+  ProcessorClaimed,
+  ProcessorReleased,
+  ProcessorQueued,
+  StorageFilePut,
+  StorageFileErased,
+  StorageSampled,
+  RunStarted,
+  RunFinished,
+  TaskReady,
+  TaskStarted,
+  TaskExecStarted,
+  TaskFinished,
+  TaskRetried,
+  TaskBlocked,
+  StageInStarted,
+  StageInFinished,
+  StageOutStarted,
+  StageOutFinished,
+  FileCleanupDeleted,
+  BillingLineItem,
+  LogEmitted,
+};
+
+inline constexpr std::size_t kEventKindCount = 30;
+static_assert(std::variant_size_v<Payload> == kEventKindCount,
+              "EventKind and Payload must list the same alternatives");
+
+/// One thing that happened, at a simulation time.  Log events carry
+/// time < 0 when no simulation clock is in scope.
+struct Event {
+  double time = 0.0;
+  Payload payload;
+};
+
+inline EventKind kind(const Event& event) {
+  return static_cast<EventKind>(event.payload.index());
+}
+
+/// Stable snake_case name of an event kind (the JSONL "type" field).
+const char* eventName(EventKind kind);
+
+}  // namespace mcsim::obs

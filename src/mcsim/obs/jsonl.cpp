@@ -1,0 +1,165 @@
+#include "mcsim/obs/jsonl.hpp"
+
+#include <cstdio>
+
+namespace mcsim::obs {
+namespace {
+
+/// %.12g keeps sub-microsecond resolution on day-long runs while staying
+/// compact for the common small values.
+void num(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+void str(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// "task":<id> with kNoTask rendered as null (workflow-level attribution).
+void taskField(std::ostream& os, std::uint32_t task) {
+  os << ",\"task\":";
+  if (task == kNoTask) os << "null";
+  else os << task;
+}
+
+struct Writer {
+  std::ostream& os;
+
+  void operator()(const SimEventScheduled& p) {
+    os << ",\"event\":" << p.event << ",\"fire_at\":";
+    num(os, p.fireAt);
+  }
+  void operator()(const SimEventFired& p) { os << ",\"event\":" << p.event; }
+  void operator()(const SimEventCancelled& p) {
+    os << ",\"event\":" << p.event;
+  }
+  void operator()(const TransferStarted& p) {
+    os << ",\"transfer\":" << p.transfer << ",\"bytes\":";
+    num(os, p.bytes);
+    os << ",\"active\":" << p.active;
+  }
+  void operator()(const TransferProgress& p) {
+    os << ",\"transfer\":" << p.transfer << ",\"remaining_bytes\":";
+    num(os, p.remainingBytes);
+  }
+  void operator()(const TransferFinished& p) {
+    os << ",\"transfer\":" << p.transfer << ",\"bytes\":";
+    num(os, p.bytes);
+    os << ",\"seconds\":";
+    num(os, p.seconds);
+  }
+  void operator()(const LinkShareChanged& p) {
+    os << ",\"active\":" << p.active << ",\"bytes_per_second_each\":";
+    num(os, p.bytesPerSecondEach);
+  }
+  void operator()(const LinkSuspended&) {}
+  void operator()(const LinkResumed&) {}
+  void operator()(const ProcessorClaimed& p) {
+    os << ",\"busy\":" << p.busy << ",\"total\":" << p.total
+       << ",\"queued\":" << p.queued;
+  }
+  void operator()(const ProcessorReleased& p) {
+    os << ",\"busy\":" << p.busy << ",\"total\":" << p.total
+       << ",\"queued\":" << p.queued;
+  }
+  void operator()(const ProcessorQueued& p) {
+    os << ",\"queued\":" << p.queued;
+  }
+  void operator()(const StorageFilePut& p) {
+    os << ",\"key\":" << p.key << ",\"bytes\":";
+    num(os, p.bytes);
+    os << ",\"resident_bytes\":";
+    num(os, p.residentBytes);
+    os << ",\"objects\":" << p.objects;
+  }
+  void operator()(const StorageFileErased& p) {
+    os << ",\"key\":" << p.key << ",\"bytes\":";
+    num(os, p.bytes);
+    os << ",\"resident_bytes\":";
+    num(os, p.residentBytes);
+    os << ",\"objects\":" << p.objects;
+  }
+  void operator()(const StorageSampled& p) {
+    os << ",\"resident_bytes\":";
+    num(os, p.residentBytes);
+    os << ",\"objects\":" << p.objects;
+  }
+  void operator()(const RunStarted& p) {
+    os << ",\"tasks\":" << p.tasks << ",\"files\":" << p.files
+       << ",\"processors\":" << p.processors;
+  }
+  void operator()(const RunFinished& p) {
+    os << ",\"seconds\":";
+    num(os, p.seconds);
+  }
+  void operator()(const TaskReady& p) { os << ",\"task\":" << p.task; }
+  void operator()(const TaskStarted& p) { os << ",\"task\":" << p.task; }
+  void operator()(const TaskExecStarted& p) { os << ",\"task\":" << p.task; }
+  void operator()(const TaskFinished& p) {
+    os << ",\"task\":" << p.task << ",\"cpu_seconds\":";
+    num(os, p.cpuSeconds);
+  }
+  void operator()(const TaskRetried& p) { os << ",\"task\":" << p.task; }
+  void operator()(const TaskBlocked& p) { os << ",\"task\":" << p.task; }
+  void operator()(const StageInStarted& p) { stage(p.file, p.task, p.bytes); }
+  void operator()(const StageInFinished& p) { stage(p.file, p.task, p.bytes); }
+  void operator()(const StageOutStarted& p) { stage(p.file, p.task, p.bytes); }
+  void operator()(const StageOutFinished& p) { stage(p.file, p.task, p.bytes); }
+  void operator()(const FileCleanupDeleted& p) {
+    stage(p.file, p.task, p.bytes);
+  }
+  void operator()(const BillingLineItem& p) {
+    os << ",\"resource\":\"" << resourceName(p.resource) << '"';
+    taskField(os, p.task);
+    os << ",\"quantity\":";
+    num(os, p.quantity);
+  }
+  void operator()(const LogEmitted& p) {
+    os << ",\"level\":" << p.level << ",\"message\":";
+    str(os, p.message);
+  }
+
+  void stage(std::uint32_t file, std::uint32_t task, double bytes) {
+    os << ",\"file\":" << file;
+    taskField(os, task);
+    os << ",\"bytes\":";
+    num(os, bytes);
+  }
+};
+
+}  // namespace
+
+void writeEventJson(std::ostream& os, const Event& event) {
+  os << "{\"t\":";
+  num(os, event.time);
+  os << ",\"type\":\"" << eventName(kind(event)) << '"';
+  std::visit(Writer{os}, event.payload);
+  os << '}';
+}
+
+void JsonlSink::onEvent(const Event& event) {
+  writeEventJson(os_, event);
+  os_ << '\n';
+  ++written_;
+}
+
+}  // namespace mcsim::obs

@@ -1,0 +1,33 @@
+// JSONL event exporter: one JSON object per event, one event per line —
+// the raw, replayable record of everything a run did.  Load with any
+// line-oriented tooling (jq, pandas.read_json(lines=True), DuckDB).
+//
+// Schema: every line has "t" (simulation seconds; -1 for events without a
+// clock, e.g. log records) and "type" (obs::eventName); remaining fields are
+// the payload's members under their C++ names in snake_case.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "mcsim/obs/sink.hpp"
+
+namespace mcsim::obs {
+
+class JsonlSink final : public Sink {
+ public:
+  /// The stream must outlive the sink.  No buffering beyond the stream's own.
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+  void onEvent(const Event& event) override;
+  std::size_t written() const { return written_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t written_ = 0;
+};
+
+/// Serialize one event as a single-line JSON object (no trailing newline).
+void writeEventJson(std::ostream& os, const Event& event);
+
+}  // namespace mcsim::obs

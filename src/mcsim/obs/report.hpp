@@ -1,0 +1,119 @@
+// Per-run cost-attribution report: the paper's aggregate dollar figures
+// (Figs 4-10) broken down by task, level and resource — the view the paper
+// gestures at ("the cost of data transfers ... the cost of storage") but
+// never itemizes.
+//
+// ReportBuilder listens for the engine's BillingLineItem events, which carry
+// resource quantities (CPU seconds, bytes in/out, storage byte-seconds) at
+// the moment they are consumed.  build() prices those quantities with a fee
+// schedule and reconciles them against the authoritative ExecutionResult
+// totals (engine::computeCost), so the sum over the breakdown always equals
+// the run's billed total: under Usage billing attribution is exhaustive;
+// under Provisioned billing the surplus of paying for P processors for the
+// whole makespan surfaces as `unattributedCpu` (idle capacity) instead of
+// being smeared across tasks.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/metrics.hpp"
+#include "mcsim/obs/sink.hpp"
+
+namespace mcsim::obs {
+
+/// Raw consumption attributed to one task (or to workflow-level staging).
+struct ResourceUsage {
+  double cpuSeconds = 0.0;
+  double storageByteSeconds = 0.0;
+  double bytesIn = 0.0;
+  double bytesOut = 0.0;
+
+  void add(Resource resource, double quantity);
+};
+
+/// Consumption plus its dollar value under a fee schedule.
+struct AttributedCost {
+  ResourceUsage usage;
+  Money cpu;
+  Money storage;
+  Money transferIn;
+  Money transferOut;
+
+  Money total() const { return cpu + storage + transferIn + transferOut; }
+};
+
+struct TaskCost {
+  std::uint32_t task = 0;
+  std::string name;
+  std::string type;
+  int level = 0;
+  AttributedCost cost;
+};
+
+struct LevelCost {
+  int level = 0;  ///< 0 = workflow-level staging (stage-in / final stage-out).
+  std::size_t tasks = 0;
+  AttributedCost cost;
+};
+
+struct RunReport {
+  std::string workflow;
+  std::string mode;     ///< engine::dataModeName.
+  std::string billing;  ///< "provisioned" | "usage".
+  int processors = 0;
+
+  // Headline metrics (mirrors ExecutionResult).
+  double makespanSeconds = 0.0;
+  double cpuBusySeconds = 0.0;
+  double bytesIn = 0.0;
+  double bytesOut = 0.0;
+  double storageGBHours = 0.0;
+  double peakStorageBytes = 0.0;
+  std::size_t tasksExecuted = 0;
+  std::size_t taskRetries = 0;
+
+  /// Authoritative totals — identical to engine::computeCost on the run's
+  /// ExecutionResult.
+  cloud::CostBreakdown totals;
+  /// Provisioned billing: totals.cpu minus the per-task attributed CPU cost
+  /// (paid-for-but-idle capacity).  ~0 under Usage billing.
+  Money unattributedCpu;
+
+  AttributedCost staging;  ///< Workflow-level stage-in/out and input storage.
+  std::vector<TaskCost> byTask;    ///< Ascending task id; only non-zero rows.
+  std::vector<LevelCost> byLevel;  ///< Ascending level; staging is level 0.
+};
+
+class ReportBuilder final : public Sink {
+ public:
+  void onEvent(const Event& event) override;
+  bool accepts(EventKind kind) const override {
+    return kind == EventKind::BillingLineItem;
+  }
+
+  /// Price the accumulated line items and reconcile with the run's result.
+  /// `wf` must be the workflow that produced the events (task ids index it).
+  RunReport build(const dag::Workflow& wf,
+                  const engine::ExecutionResult& result,
+                  const cloud::Pricing& pricing, cloud::CpuBillingMode cpuMode,
+                  cloud::BillingGranularity granularity =
+                      cloud::BillingGranularity::PerSecond) const;
+
+  const std::unordered_map<std::uint32_t, ResourceUsage>& usage() const {
+    return usage_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, ResourceUsage> usage_;
+};
+
+/// report.json: schema "mcsim.report.v1" (documented in DESIGN.md).
+void writeReportJson(std::ostream& os, const RunReport& report);
+
+}  // namespace mcsim::obs

@@ -1,0 +1,34 @@
+#include "mcsim/obs/sampler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcsim::obs {
+
+PeriodicSampler::PeriodicSampler(sim::Simulator& sim, double period,
+                                 SampleFn sample)
+    : sim_(sim), period_(period), sample_(std::move(sample)) {
+  if (!(period > 0.0))
+    throw std::invalid_argument("PeriodicSampler: period must be positive");
+  if (!sample_)
+    throw std::invalid_argument("PeriodicSampler: empty sample callback");
+}
+
+void PeriodicSampler::start() {
+  if (running()) return;
+  pending_ = sim_.scheduleAfter(period_, [this] { tick(); });
+}
+
+void PeriodicSampler::stop() {
+  if (!running()) return;
+  sim_.cancel(pending_);
+  pending_ = sim::kInvalidEvent;
+}
+
+void PeriodicSampler::tick() {
+  pending_ = sim::kInvalidEvent;
+  sample_();
+  pending_ = sim_.scheduleAfter(period_, [this] { tick(); });
+}
+
+}  // namespace mcsim::obs

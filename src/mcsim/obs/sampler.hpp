@@ -1,0 +1,41 @@
+// Sim-time periodic sampler: invokes a callback every `period` simulated
+// seconds, for gauge-style telemetry (resident bytes, queue depths) whose
+// value between events is as interesting as at them.
+//
+// The simulator runs until its calendar drains, so a self-rescheduling
+// sampler would keep a run alive forever — stop() (or destruction) cancels
+// the pending tick; the engine calls it when the workflow completes.
+#pragma once
+
+#include <functional>
+
+#include "mcsim/sim/simulator.hpp"
+
+namespace mcsim::obs {
+
+class PeriodicSampler {
+ public:
+  using SampleFn = std::function<void()>;
+
+  /// `period` > 0 (simulated seconds).  Does not start sampling.
+  PeriodicSampler(sim::Simulator& sim, double period, SampleFn sample);
+  ~PeriodicSampler() { stop(); }
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+  /// First sample fires `period` seconds from now.  Idempotent.
+  void start();
+  /// Cancel the pending tick.  Idempotent.
+  void stop();
+  bool running() const { return pending_ != sim::kInvalidEvent; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  double period_;
+  SampleFn sample_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+};
+
+}  // namespace mcsim::obs

@@ -1,0 +1,60 @@
+// TelemetrySession: one-stop wiring for the common "run a workflow with
+// full telemetry" case — owns a JSONL event log, a metrics registry fed by
+// a MetricsSink, and a ReportBuilder, fanned out behind a single Sink* to
+// hand to EngineConfig::observer.  finish() writes the on-disk artifacts:
+//
+//   <dir>/events.jsonl   every event, one JSON object per line
+//   <dir>/metrics.prom   Prometheus text exposition of the run's metrics
+//   <dir>/report.json    cost attribution by task / level / resource
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "mcsim/obs/jsonl.hpp"
+#include "mcsim/obs/metrics.hpp"
+#include "mcsim/obs/report.hpp"
+#include "mcsim/obs/sink.hpp"
+
+namespace mcsim::obs {
+
+struct TelemetryOptions {
+  std::string directory;  ///< Created (recursively) if missing.
+  bool events = true;     ///< Write events.jsonl.
+  bool metrics = true;    ///< Maintain the registry and write metrics.prom.
+  bool report = true;     ///< Accumulate line items and write report.json.
+};
+
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(TelemetryOptions options);
+
+  /// Install as EngineConfig::observer (valid for the session's lifetime).
+  Sink* sink() { return &fanOut_; }
+
+  MetricsRegistry& registry() { return registry_; }
+  const ReportBuilder& reportBuilder() const { return report_; }
+
+  /// Flush events.jsonl and write metrics.prom + report.json.  Returns the
+  /// built report.  Call once, after simulateWorkflow returns.
+  RunReport finish(const dag::Workflow& wf,
+                   const engine::ExecutionResult& result,
+                   const cloud::Pricing& pricing,
+                   cloud::CpuBillingMode cpuMode);
+
+  std::string eventsPath() const;
+  std::string metricsPath() const;
+  std::string reportPath() const;
+
+ private:
+  TelemetryOptions options_;
+  std::ofstream eventsFile_;
+  std::unique_ptr<JsonlSink> jsonl_;
+  MetricsRegistry registry_;
+  std::unique_ptr<MetricsSink> metrics_;
+  ReportBuilder report_;
+  FanOutSink fanOut_;
+};
+
+}  // namespace mcsim::obs

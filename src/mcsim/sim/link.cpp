@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim::sim {
 namespace {
 /// Residual byte counts below the completion threshold are treated as done.
@@ -43,7 +45,11 @@ Link::TransferId Link::startTransfer(Bytes size, CompletionHandler onComplete) {
     throw std::invalid_argument("Link::startTransfer: empty completion handler");
   accrueProgress();
   const TransferId id = nextId_++;
-  active_.emplace(id, Transfer{size.value(), size.value(), std::move(onComplete)});
+  active_.emplace(id, Transfer{size.value(), size.value(), sim_.now(),
+                               std::move(onComplete)});
+  if (observer_)
+    observer_->onEvent(obs::Event{
+        sim_.now(), obs::TransferStarted{id, size.value(), active_.size()}});
   reschedule();
   return id;
 }
@@ -52,6 +58,8 @@ void Link::suspend() {
   if (suspended_) return;
   accrueProgress();
   suspended_ = true;
+  if (observer_)
+    observer_->onEvent(obs::Event{sim_.now(), obs::LinkSuspended{}});
   reschedule();
 }
 
@@ -60,6 +68,8 @@ void Link::resume() {
   // No progress accrued while down; just restart the clock from now.
   lastUpdate_ = sim_.now();
   suspended_ = false;
+  if (observer_)
+    observer_->onEvent(obs::Event{sim_.now(), obs::LinkResumed{}});
   reschedule();
 }
 
@@ -69,6 +79,10 @@ void Link::accrueProgress() {
   if (rate > 0.0 && now > lastUpdate_) {
     const double credit = rate * (now - lastUpdate_);
     for (auto& [id, t] : active_) t.remainingBytes -= credit;
+    if (observer_ && observer_->accepts(obs::EventKind::TransferProgress))
+      for (const auto& [id, t] : active_)
+        observer_->onEvent(
+            obs::Event{now, obs::TransferProgress{id, t.remainingBytes}});
   }
   lastUpdate_ = now;
 }
@@ -80,6 +94,11 @@ void Link::completeFinished() {
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.remainingBytes <= completionThreshold(it->second.totalBytes)) {
       completedBytes_ += it->second.totalBytes;
+      if (observer_)
+        observer_->onEvent(obs::Event{
+            sim_.now(),
+            obs::TransferFinished{it->first, it->second.totalBytes,
+                                  sim_.now() - it->second.startTime}});
       done.push_back(std::move(it->second.onComplete));
       it = active_.erase(it);
       ++completedCount_;
@@ -108,6 +127,11 @@ void Link::reschedule() {
                   t.remainingBytes <= completionThreshold(t.totalBytes);
   }
   const double rate = perTransferRate();
+  if (observer_ && rate != lastEmittedRate_) {
+    observer_->onEvent(obs::Event{
+        sim_.now(), obs::LinkShareChanged{active_.size(), rate}});
+    lastEmittedRate_ = rate;
+  }
   const double delay = anyComplete ? 0.0 : minRemaining / rate;
 
   pendingEvent_ = sim_.scheduleAfter(delay, [this] {

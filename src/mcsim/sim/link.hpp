@@ -17,6 +17,10 @@
 #include "mcsim/sim/simulator.hpp"
 #include "mcsim/util/units.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::sim {
 
 enum class LinkSharing {
@@ -45,6 +49,11 @@ class Link {
   void resume();
   bool suspended() const { return suspended_; }
 
+  /// Install a telemetry sink (transfer start/progress/finish, share
+  /// changes, suspend/resume); nullptr disables.  Per-credit
+  /// TransferProgress events are emitted only if the sink accepts them.
+  void setObserver(obs::Sink* observer) { observer_ = observer; }
+
   std::size_t activeTransfers() const { return active_.size(); }
   Bytes totalBytesTransferred() const { return Bytes(completedBytes_); }
   std::size_t completedTransfers() const { return completedCount_; }
@@ -55,6 +64,7 @@ class Link {
   struct Transfer {
     double totalBytes;
     double remainingBytes;
+    double startTime;
     CompletionHandler onComplete;
   };
 
@@ -80,6 +90,9 @@ class Link {
 
   double completedBytes_ = 0.0;
   std::size_t completedCount_ = 0;
+
+  obs::Sink* observer_ = nullptr;
+  double lastEmittedRate_ = -1.0;  ///< Last LinkShareChanged rate published.
 };
 
 }  // namespace mcsim::sim

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim::sim {
 
 ProcessorPool::ProcessorPool(Simulator& sim, int processorCount)
@@ -21,7 +23,13 @@ void ProcessorPool::acquire(GrantHandler onGranted) {
   if (!onGranted)
     throw std::invalid_argument("ProcessorPool::acquire: empty handler");
   waiting_.push_back(std::move(onGranted));
-  if (busy_ < count_) grantOne();
+  if (busy_ < count_) {
+    grantOne();
+    return;
+  }
+  if (observer_)
+    observer_->onEvent(
+        obs::Event{sim_.now(), obs::ProcessorQueued{waiting_.size()}});
 }
 
 void ProcessorPool::grantOne() {
@@ -32,6 +40,9 @@ void ProcessorPool::grantOne() {
   ++busy_;
   GrantHandler handler = std::move(waiting_.front());
   waiting_.pop_front();
+  if (observer_)
+    observer_->onEvent(obs::Event{
+        sim_.now(), obs::ProcessorClaimed{busy_, count_, waiting_.size()}});
   sim_.scheduleAfter(0.0, std::move(handler));
 }
 
@@ -40,6 +51,9 @@ void ProcessorPool::release() {
     throw std::logic_error("ProcessorPool::release: no processor is busy");
   accrue();
   --busy_;
+  if (observer_)
+    observer_->onEvent(obs::Event{
+        sim_.now(), obs::ProcessorReleased{busy_, count_, waiting_.size()}});
   if (!waiting_.empty()) grantOne();
 }
 

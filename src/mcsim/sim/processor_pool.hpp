@@ -12,6 +12,10 @@
 
 #include "mcsim/sim/simulator.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::sim {
 
 class ProcessorPool {
@@ -37,6 +41,10 @@ class ProcessorPool {
   /// current simulation time.
   double busyProcessorSeconds() const;
 
+  /// Install a telemetry sink (claim / release / queue depth); nullptr
+  /// disables.
+  void setObserver(obs::Sink* observer) { observer_ = observer; }
+
  private:
   void grantOne();
   void accrue();
@@ -47,6 +55,7 @@ class ProcessorPool {
   std::deque<GrantHandler> waiting_;
   double busyIntegral_ = 0.0;
   double lastUpdate_ = 0.0;
+  obs::Sink* observer_ = nullptr;
 };
 
 }  // namespace mcsim::sim

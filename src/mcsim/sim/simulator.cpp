@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim::sim {
 
 EventId Simulator::schedule(double time, Callback cb) {
@@ -14,6 +16,9 @@ EventId Simulator::schedule(double time, Callback cb) {
   const EventId id = nextId_++;
   queue_.push(Event{time, nextSequence_++, id, std::move(cb)});
   pending_.insert(id);
+  if (observer_)
+    observer_->onEvent(
+        obs::Event{now_, obs::SimEventScheduled{id, time}});
   return id;
 }
 
@@ -26,7 +31,10 @@ EventId Simulator::scheduleAfter(double delay, Callback cb) {
 bool Simulator::cancel(EventId id) {
   // Only a still-pending event can be cancelled; fired or unknown ids are
   // rejected so double-cancel and cancel-after-fire are harmless no-ops.
-  return pending_.erase(id) != 0;
+  if (pending_.erase(id) == 0) return false;
+  if (observer_)
+    observer_->onEvent(obs::Event{now_, obs::SimEventCancelled{id}});
+  return true;
 }
 
 void Simulator::step() {
@@ -36,6 +44,8 @@ void Simulator::step() {
     if (pending_.erase(ev.id) == 0) continue;  // was cancelled; drop lazily
     now_ = ev.time;
     ++processed_;
+    if (observer_)
+      observer_->onEvent(obs::Event{now_, obs::SimEventFired{ev.id}});
     ev.callback();
     return;
   }

@@ -13,6 +13,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::sim {
 
 using Callback = std::function<void()>;
@@ -54,6 +58,12 @@ class Simulator {
 
   std::size_t processedEvents() const { return processed_; }
 
+  /// Install a telemetry sink observing the calendar (scheduled / fired /
+  /// cancelled events); nullptr disables.  Disabled observation costs one
+  /// pointer test per operation.
+  void setObserver(obs::Sink* observer) { observer_ = observer; }
+  obs::Sink* observer() const { return observer_; }
+
  private:
   struct Event {
     double time;
@@ -77,6 +87,7 @@ class Simulator {
   std::uint64_t nextSequence_ = 0;
   EventId nextId_ = 1;
   std::size_t processed_ = 0;
+  obs::Sink* observer_ = nullptr;
 };
 
 }  // namespace mcsim::sim

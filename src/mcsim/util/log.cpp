@@ -2,9 +2,12 @@
 
 #include <iostream>
 
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim {
 namespace {
 LogLevel g_level = LogLevel::Warn;
+obs::Sink* g_sink = nullptr;
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -21,8 +24,22 @@ const char* prefix(LogLevel level) {
 void setLogLevel(LogLevel level) { g_level = level; }
 LogLevel logLevel() { return g_level; }
 
+obs::Sink* setLogSink(obs::Sink* sink) {
+  obs::Sink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+obs::Sink* logSink() { return g_sink; }
+
 void logMessage(LogLevel level, const std::string& message) {
   if (level < g_level) return;
+  if (g_sink != nullptr) {
+    // Log events have no simulation clock in scope: time is -1 by
+    // convention (exporters render it as null).
+    g_sink->onEvent(
+        obs::Event{-1.0, obs::LogEmitted{static_cast<int>(level), message}});
+    return;
+  }
   std::cerr << prefix(level) << message << '\n';
 }
 

@@ -1,10 +1,20 @@
 // Tiny leveled logger.  The simulator is deterministic and single-threaded;
 // logging exists for tracing engine decisions during development and for the
 // examples' verbose modes, not for production telemetry.
+//
+// Messages normally go to stderr; installing an obs::Sink (setLogSink)
+// reroutes them onto the telemetry event bus as obs::LogEmitted events, so a
+// run has a single logging path and log lines land in the same JSONL stream
+// as everything else.  Argument formatting stays lazy either way: logf()
+// builds the string only after the threshold check passes.
 #pragma once
 
 #include <sstream>
 #include <string>
+
+namespace mcsim::obs {
+class Sink;
+}
 
 namespace mcsim {
 
@@ -14,7 +24,13 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emit a message at `level` to stderr with a level prefix.
+/// Route passing messages to `sink` as obs::LogEmitted events instead of
+/// stderr; nullptr restores stderr.  Returns the previous sink.
+obs::Sink* setLogSink(obs::Sink* sink);
+obs::Sink* logSink();
+
+/// Emit a message at `level` to the installed sink, else stderr with a level
+/// prefix.
 void logMessage(LogLevel level, const std::string& message);
 
 namespace detail {

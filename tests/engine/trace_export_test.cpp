@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "../common/fixtures.hpp"
+#include "../common/json.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"
 
@@ -88,6 +92,82 @@ TEST(ChromeTrace, TimesAreMicroseconds) {
   // t0 starts at 1 s = 1e6 us and runs 10 s = 1e7 us.
   EXPECT_NE(os.str().find("\"ts\":1000000.000000"), std::string::npos);
   EXPECT_NE(os.str().find("\"dur\":10000000.000000"), std::string::npos);
+}
+
+TEST(ChromeTrace, ParsesAsCompleteEventArray) {
+  const auto fig = test::makeFigure3Workflow();
+  const auto r = tracedRun(fig.wf, 2);
+  std::ostringstream os;
+  writeChromeTrace(os, fig.wf, r);
+
+  const mcsim::test::JsonValue v = mcsim::test::parseJson(os.str());
+  ASSERT_TRUE(v.isArray());
+  std::size_t complete = 0;
+  for (const auto& event : v.asArray()) {
+    ASSERT_TRUE(event.isObject());
+    if (event.at("ph").asString() != "X") continue;
+    ++complete;
+    EXPECT_TRUE(event.has("name"));
+    EXPECT_TRUE(event.has("cat"));
+    EXPECT_GE(event.at("ts").asNumber(), 0.0);
+    EXPECT_GT(event.at("dur").asNumber(), 0.0);
+    EXPECT_GE(event.at("tid").asNumber(), 0.0);
+  }
+  EXPECT_EQ(complete, fig.wf.taskCount());
+}
+
+TEST(ChromeTrace, LanesNeverOverlap) {
+  // A lane is a processor: within one tid, task intervals must be disjoint.
+  const auto wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.processors = 8;
+  cfg.trace = true;
+  const auto r = simulateWorkflow(wf, cfg);
+  std::ostringstream os;
+  writeChromeTrace(os, wf, r);
+
+  const mcsim::test::JsonValue v = mcsim::test::parseJson(os.str());
+  std::map<int, std::vector<std::pair<double, double>>> lanes;
+  for (const auto& event : v.asArray()) {
+    if (event.at("ph").asString() != "X") continue;
+    lanes[static_cast<int>(event.at("tid").asNumber())].emplace_back(
+        event.at("ts").asNumber(), event.at("dur").asNumber());
+  }
+  ASSERT_LE(lanes.size(), 8u);
+  for (auto& [tid, intervals] : lanes) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first,
+                intervals[i - 1].first + intervals[i - 1].second - 1e-6)
+          << "lane " << tid << " overlaps at interval " << i;
+    }
+  }
+}
+
+TEST(TraceCsv, EveryRowHasHeaderArity) {
+  const auto wf = montage::buildMontageWorkflow(1.0);
+  EngineConfig cfg;
+  cfg.processors = 8;
+  cfg.trace = true;
+  const auto r = simulateWorkflow(wf, cfg);
+  std::ostringstream os;
+  writeTraceCsv(os, wf, r);
+
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const std::size_t columns =
+      static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) + 1;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(line.begin(), line.end(), ',')) +
+                  1,
+              columns)
+        << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, wf.taskCount());
 }
 
 TEST(ChromeTrace, MontageScaleSmokeTest) {

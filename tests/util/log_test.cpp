@@ -2,15 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "mcsim/obs/sink.hpp"
+
 namespace mcsim {
 namespace {
 
-/// Restores the global threshold after each test.
+/// Restores the global threshold and sink after each test.
 class LogTest : public ::testing::Test {
  protected:
   void SetUp() override { saved_ = logLevel(); }
-  void TearDown() override { setLogLevel(saved_); }
+  void TearDown() override {
+    setLogLevel(saved_);
+    setLogSink(nullptr);
+  }
   LogLevel saved_ = LogLevel::Warn;
+};
+
+/// Captures LogEmitted events routed through the bus.
+class LogRecorder final : public obs::Sink {
+ public:
+  void onEvent(const obs::Event& event) override {
+    if (const auto* log = std::get_if<obs::LogEmitted>(&event.payload))
+      records.emplace_back(*log);
+  }
+  std::vector<obs::LogEmitted> records;
 };
 
 TEST_F(LogTest, ThresholdRoundTrips) {
@@ -46,6 +64,60 @@ TEST_F(LogTest, VariadicFormatting) {
   const std::string err = testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("ran 3 tasks in 1.5 s"), std::string::npos);
   EXPECT_NE(err.find("[debug]"), std::string::npos);
+}
+
+TEST_F(LogTest, InstalledSinkReceivesMessagesInsteadOfStderr) {
+  setLogLevel(LogLevel::Info);
+  LogRecorder recorder;
+  obs::Sink* previous = setLogSink(&recorder);
+  EXPECT_EQ(previous, nullptr);
+  EXPECT_EQ(logSink(), &recorder);
+
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Warn, "queue depth ", 12);
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+
+  ASSERT_EQ(recorder.records.size(), 1u);
+  EXPECT_EQ(recorder.records[0].level, static_cast<int>(LogLevel::Warn));
+  EXPECT_EQ(recorder.records[0].message, "queue depth 12");
+
+  // Uninstalling restores stderr and hands back the old sink.
+  EXPECT_EQ(setLogSink(nullptr), &recorder);
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Warn, "back on stderr");
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("back on stderr"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, ThresholdStillAppliesWithSinkInstalled) {
+  setLogLevel(LogLevel::Error);
+  LogRecorder recorder;
+  setLogSink(&recorder);
+  logf(LogLevel::Debug, "dropped");
+  logf(LogLevel::Info, "dropped too");
+  logf(LogLevel::Error, "kept");
+  ASSERT_EQ(recorder.records.size(), 1u);
+  EXPECT_EQ(recorder.records[0].message, "kept");
+}
+
+/// Streaming this type counts how often it is actually formatted.
+struct FormatCounter {
+  mutable int* count;
+};
+std::ostream& operator<<(std::ostream& os, const FormatCounter& c) {
+  ++*c.count;
+  return os << "formatted";
+}
+
+TEST_F(LogTest, ArgumentsAreNotFormattedBelowThreshold) {
+  setLogLevel(LogLevel::Error);
+  int formatted = 0;
+  testing::internal::CaptureStderr();
+  logf(LogLevel::Debug, "expensive: ", FormatCounter{&formatted});
+  EXPECT_EQ(formatted, 0);
+  logf(LogLevel::Error, "expensive: ", FormatCounter{&formatted});
+  EXPECT_EQ(formatted, 1);
+  testing::internal::GetCapturedStderr();
 }
 
 }  // namespace

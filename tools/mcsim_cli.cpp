@@ -22,7 +22,9 @@
 #include "mcsim/engine/trace.hpp"
 #include "mcsim/engine/trace_export.hpp"
 #include "mcsim/montage/factory.hpp"
+#include "mcsim/obs/telemetry.hpp"
 #include "mcsim/util/args.hpp"
+#include "mcsim/util/log.hpp"
 #include "mcsim/workflows/gallery.hpp"
 
 namespace {
@@ -48,6 +50,11 @@ common options:
   --targets <list>    CCR targets for `ccr`
   --out <path>        output file for `dax` / --trace
   --trace <path>      (simulate) write a Chrome trace JSON
+  --telemetry-dir <d> (simulate) write events.jsonl, metrics.prom and
+                      report.json for the run into directory <d>
+  --sample-period <s> storage sampling period for --telemetry-dir
+                      in simulated seconds                  (default 60)
+  --log-level <l>     debug | info | warn | error | off     (default warn)
   --csv               machine-readable output where supported
 )";
 
@@ -59,6 +66,16 @@ dag::Workflow loadWorkflow(const std::string& spec) {
   if (spec == "inspiral") return workflows::buildInspiral();
   if (spec == "sipht") return workflows::buildSipht();
   return dag::readDaxFile(spec);
+}
+
+LogLevel parseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (want debug|info|warn|error|off)");
 }
 
 engine::DataMode parseMode(const std::string& name) {
@@ -124,6 +141,17 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   cfg.processors = args.intOr("procs", 8);
   cfg.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
   cfg.trace = true;
+
+  // --telemetry-dir: observe the whole run and write the three artifacts.
+  // Log messages join the same event stream while the session is live.
+  std::optional<obs::TelemetrySession> telemetry;
+  if (const auto dir = args.value("telemetry-dir")) {
+    telemetry.emplace(obs::TelemetryOptions{*dir});
+    cfg.observer = telemetry->sink();
+    cfg.samplePeriodSeconds = args.numberOr("sample-period", 60.0);
+    setLogSink(telemetry->sink());
+  }
+
   const auto result = engine::simulateWorkflow(wf, cfg);
   std::cout << engine::summarize(wf, result) << "\n\n";
   engine::printLevelSummary(std::cout, wf, result);
@@ -135,6 +163,16 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
       engine::computeCost(result, pricing, cloud::CpuBillingMode::Usage);
   std::cout << "\nprovisioned total " << formatMoney(provisioned.total())
             << ", usage total " << formatMoney(usage.total()) << "\n";
+
+  if (telemetry) {
+    setLogSink(nullptr);
+    const obs::RunReport report = telemetry->finish(
+        wf, result, pricing, cloud::CpuBillingMode::Provisioned);
+    std::cout << "telemetry: " << telemetry->eventsPath() << ", "
+              << telemetry->metricsPath() << ", " << telemetry->reportPath()
+              << " (report total " << formatMoney(report.totals.total())
+              << ")\n";
+  }
 
   if (const auto tracePath = args.value("trace")) {
     std::ofstream out(*tracePath);
@@ -198,9 +236,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
-                    "out", "trace"},
+                    "out", "trace", "telemetry-dir", "sample-period",
+                    "log-level"},
                    {"csv"});
     args.parse(argc - 2, argv + 2);
+    if (const auto level = args.value("log-level"))
+      setLogLevel(parseLogLevel(*level));
     const dag::Workflow wf = loadWorkflow(args.valueOr("workflow", "montage:1"));
 
     if (command == "info") return cmdInfo(wf, args);
