@@ -1,0 +1,105 @@
+#include "mcsim/analysis/reliability.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "mcsim/analysis/report.hpp"
+#include "mcsim/dag/algorithms.hpp"
+#include "mcsim/engine/metrics.hpp"
+
+namespace mcsim::analysis {
+namespace {
+
+ReliabilityPoint runPoint(const dag::Workflow& wf,
+                          const cloud::Pricing& pricing,
+                          const engine::EngineConfig& cfg, double mtbf) {
+  const engine::ExecutionResult r = engine::simulateWorkflow(wf, cfg);
+  const cloud::CostBreakdown cost =
+      engine::computeCost(r, pricing, cloud::CpuBillingMode::Usage);
+
+  ReliabilityPoint pt;
+  pt.mode = cfg.mode;
+  pt.mtbfSeconds = mtbf;
+  pt.makespanSeconds = r.makespanSeconds;
+  pt.processorCrashes = r.processorCrashes;
+  pt.taskRetries = r.taskRetries;
+  pt.tasksFailed = r.tasksFailed;
+  pt.tasksAbandoned = r.tasksAbandoned;
+  pt.wastedCpuSeconds = r.wastedCpuSeconds;
+  pt.completed = r.completed();
+  pt.cpuCost = cost.cpu;
+  pt.storageCost = cost.storage;
+  pt.transferCost = cost.transfer();
+  pt.totalCost = cost.total();
+  return pt;
+}
+
+}  // namespace
+
+std::vector<ReliabilityPoint> reliabilitySweep(const dag::Workflow& wf,
+                                               const cloud::Pricing& pricing,
+                                               const ReliabilityConfig& config,
+                                               engine::EngineConfig base) {
+  for (double mtbf : config.mtbfSeconds)
+    if (mtbf <= 0.0)
+      throw std::invalid_argument("reliabilitySweep: MTBF must be positive");
+  config.retry.validate();
+
+  const int processors =
+      config.processorOverride > 0
+          ? config.processorOverride
+          : static_cast<int>(std::max<std::size_t>(1, dag::maxParallelism(wf)));
+
+  std::vector<ReliabilityPoint> points;
+  points.reserve(3 * (config.mtbfSeconds.size() + 1));
+  for (engine::DataMode mode :
+       {engine::DataMode::RemoteIO, engine::DataMode::Regular,
+        engine::DataMode::DynamicCleanup}) {
+    engine::EngineConfig cfg = base;
+    cfg.mode = mode;
+    cfg.processors = processors;
+
+    // Fault-free baseline: the denominator for every overhead figure.
+    cfg.faults = {};
+    ReliabilityPoint baseline = runPoint(wf, pricing, cfg, 0.0);
+    baseline.faultFreeTotal = baseline.totalCost;
+    points.push_back(baseline);
+
+    for (double mtbf : config.mtbfSeconds) {
+      cfg.faults = base.faults;
+      cfg.faults.processor.mtbfSeconds = mtbf;
+      cfg.faults.retry = config.retry;
+      cfg.faults.seed = config.faultSeed;
+      ReliabilityPoint pt = runPoint(wf, pricing, cfg, mtbf);
+      pt.faultFreeTotal = baseline.totalCost;
+      points.push_back(pt);
+    }
+  }
+  return points;
+}
+
+Table reliabilityTable(const std::vector<ReliabilityPoint>& points) {
+  Table t({"mode", "MTBF", "makespan", "crashes", "retries", "failed",
+           "wasted cpu", "cpu $", "storage $", "transfer $", "total $",
+           "overhead"});
+  for (const ReliabilityPoint& p : points) {
+    char overhead[32];
+    std::snprintf(overhead, sizeof overhead, "%+.1f%%",
+                  p.costOverheadFraction() * 100.0);
+    std::string failed = std::to_string(p.tasksFailed);
+    if (p.tasksAbandoned > 0)
+      failed += "+" + std::to_string(p.tasksAbandoned);
+    t.addRow({engine::dataModeName(p.mode),
+              p.mtbfSeconds > 0.0 ? formatDuration(p.mtbfSeconds) : "-",
+              formatDuration(p.makespanSeconds),
+              std::to_string(p.processorCrashes),
+              std::to_string(p.taskRetries), failed,
+              formatDuration(p.wastedCpuSeconds), moneyCell(p.cpuCost),
+              moneyCell(p.storageCost), moneyCell(p.transferCost),
+              moneyCell(p.totalCost),
+              p.mtbfSeconds > 0.0 ? overhead : "-"});
+  }
+  return t;
+}
+
+}  // namespace mcsim::analysis

@@ -57,6 +57,27 @@ Bytes StorageService::sizeOf(std::uint64_t key) const {
   return Bytes(it->second);
 }
 
+void StorageService::setOutages(
+    std::vector<std::pair<double, double>> windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& [start, end] = windows[i];
+    if (start < 0.0 || end < start)
+      throw std::invalid_argument("StorageService::setOutages: bad window");
+    if (i > 0 && start < windows[i - 1].second)
+      throw std::invalid_argument(
+          "StorageService::setOutages: windows must be sorted and disjoint");
+  }
+  outages_ = std::move(windows);
+}
+
+double StorageService::availableFrom(double t) const {
+  for (const auto& [start, end] : outages_) {
+    if (t < start) break;
+    if (t < end) return end;
+  }
+  return t;
+}
+
 double StorageService::byteSecondsUsed() const {
   return curve_.integralByteSeconds(sim_.now());
 }

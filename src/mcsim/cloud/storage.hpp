@@ -12,6 +12,8 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "mcsim/sim/simulator.hpp"
 #include "mcsim/util/units.hpp"
@@ -51,12 +53,29 @@ class StorageService {
 
   const UsageCurve& curve() const { return curve_; }
 
+  /// Configure unavailability windows (S3 outage injection) as sorted,
+  /// non-overlapping [start, end) second intervals.  The service keeps
+  /// accepting put/erase during a window — residency bookkeeping is the
+  /// engine's ground truth — but exposes availability queries so callers can
+  /// defer commits until the service is back.
+  void setOutages(std::vector<std::pair<double, double>> windows);
+  const std::vector<std::pair<double, double>>& outages() const {
+    return outages_;
+  }
+
+  /// True if no outage window covers time `t`.
+  bool availableAt(double t) const { return availableFrom(t) == t; }
+  /// Earliest time >= `t` at which the service is available (the end of the
+  /// window covering `t`, else `t` itself).
+  double availableFrom(double t) const;
+
   /// Install a telemetry sink (file create / delete); nullptr disables.
   void setObserver(obs::Sink* observer) { observer_ = observer; }
 
  private:
   sim::Simulator& sim_;
   Bytes capacity_;
+  std::vector<std::pair<double, double>> outages_;  ///< Sorted [start, end).
   std::unordered_map<std::uint64_t, double> objects_;
   double residentBytes_ = 0.0;
   UsageCurve curve_;

@@ -25,6 +25,19 @@ using dag::FileId;
 using dag::TaskId;
 using dag::Workflow;
 
+/// The engine-side fault configuration: the user's FaultConfig with the
+/// deprecated EngineConfig coin-flip fields folded into `legacy`.
+faults::FaultConfig effectiveFaults(const EngineConfig& cfg) {
+  faults::FaultConfig fc = cfg.faults;
+  if (cfg.taskFailureProbability > 0.0) {
+    fc.legacy.probability = cfg.taskFailureProbability;
+    fc.legacy.seed = cfg.failureSeed;
+  }
+  fc.link.outages = faults::normalizeOutages(fc.link.outages);
+  fc.storage.outages = faults::normalizeOutages(fc.storage.outages);
+  return fc;
+}
+
 /// One simulated execution.  Owns the simulator, link and storage for its
 /// lifetime; `execute()` drives the event loop to completion and extracts
 /// the metrics.
@@ -33,12 +46,19 @@ class Run {
   Run(const Workflow& wf, const EngineConfig& cfg)
       : wf_(wf),
         cfg_(cfg),
+        fcfg_(effectiveFaults(cfg)),
         plan_(dag::analyzeCleanup(wf)),
         link_(sim_, cfg.linkBandwidthBytesPerSec, cfg.linkSharing),
         storage_(sim_, cfg.storageCapacityBytes > 0.0
                            ? Bytes(cfg.storageCapacityBytes)
                            : Bytes(std::numeric_limits<double>::infinity())) {
-    if (cfg.taskFailureProbability > 0.0) failureRng_.emplace(cfg.failureSeed);
+    if (fcfg_.anyEnabled()) injector_.emplace(fcfg_);
+    if (!fcfg_.storage.outages.empty()) {
+      std::vector<std::pair<double, double>> windows;
+      for (const auto& w : fcfg_.storage.outages)
+        windows.emplace_back(w.startSeconds, w.endSeconds());
+      storage_.setOutages(std::move(windows));
+    }
     // Tracing is an event consumer: cfg.trace installs an internal
     // TimelineSink next to the user's observer.
     if (cfg.trace) {
@@ -73,11 +93,15 @@ class Run {
           "simulateWorkflow: task failure probability must be in [0, 1)");
     if (cfg.samplePeriodSeconds < 0.0)
       throw std::invalid_argument("simulateWorkflow: negative sample period");
+    cfg.faults.validate();
   }
 
   ExecutionResult execute() {
     prepare();
     scheduleOutages();
+    scheduleStorageOutages();
+    if (fcfg_.deadlineSeconds > 0.0)
+      sim_.schedule(fcfg_.deadlineSeconds, [this] { onDeadline(); });
     if (obs_ != nullptr && cfg_.samplePeriodSeconds > 0.0) {
       sampler_.emplace(sim_, cfg_.samplePeriodSeconds, [this] {
         emit(obs::StorageSampled{storage_.residentBytes().value(),
@@ -115,6 +139,7 @@ class Run {
   void prepare() {
     const std::size_t nTasks = wf_.taskCount();
     waitCount_.assign(nTasks, 0);
+    abandoned_.assign(nTasks, false);
     remainingUses_ = plan_.remainingUses;
 
     isExternal_.assign(wf_.fileCount(), false);
@@ -146,13 +171,44 @@ class Run {
     tasksRemaining_ = nTasks;
   }
 
+  /// Overlapping windows (legacy outages, fault-model link windows and
+  /// storage windows all stall the shared link) are refcounted: the link
+  /// resumes only when the last window ends.
+  void suspendLink() {
+    if (linkSuspends_++ == 0) link_.suspend();
+  }
+  void resumeLink() {
+    if (--linkSuspends_ == 0) link_.resume();
+  }
+
   void scheduleOutages() {
     for (const Outage& o : cfg_.outages) {
       if (o.startSeconds < 0.0 || o.durationSeconds < 0.0)
         throw std::invalid_argument("simulateWorkflow: negative outage bounds");
-      sim_.schedule(o.startSeconds, [this] { link_.suspend(); });
+      sim_.schedule(o.startSeconds, [this] { suspendLink(); });
       sim_.schedule(o.startSeconds + o.durationSeconds,
-                    [this] { link_.resume(); });
+                    [this] { resumeLink(); });
+    }
+    for (const faults::OutageWindow& w : fcfg_.link.outages) {
+      sim_.schedule(w.startSeconds, [this] { suspendLink(); });
+      sim_.schedule(w.endSeconds(), [this] { resumeLink(); });
+    }
+  }
+
+  /// Storage (S3) unavailability: nothing can be read from or written to
+  /// storage, so the user<->storage link stalls too, and task completions
+  /// that land inside a window defer their output commit to the window end
+  /// (the finish* entry points check storage_.availableFrom).
+  void scheduleStorageOutages() {
+    for (const faults::OutageWindow& w : fcfg_.storage.outages) {
+      sim_.schedule(w.startSeconds, [this] {
+        emit(obs::StorageOutageStarted{});
+        suspendLink();
+      });
+      sim_.schedule(w.endSeconds(), [this] {
+        emit(obs::StorageOutageEnded{});
+        resumeLink();
+      });
     }
   }
 
@@ -215,6 +271,7 @@ class Run {
     for (const dag::Task& t : wf_.tasks()) {
       if (t.earliestStartSeconds <= 0.0) continue;
       sim_.scheduleAfter(t.earliestStartSeconds, [this, id = t.id] {
+        if (halted_) return;
         if (--waitCount_[id] == 0) markReady(id);
       });
     }
@@ -230,6 +287,7 @@ class Run {
         const Bytes size = wf_.file(f).size;
         emit(obs::StageInStarted{f, obs::kNoTask, size.value()});
         link_.startTransfer(size, [this, f, size] {
+          if (halted_) return;
           result_.bytesIn += size;
           ++result_.transfersIn;
           if (cfg_.storageCapacityBytes > 0.0)
@@ -264,6 +322,7 @@ class Run {
   }
 
   void markReady(TaskId id) {
+    if (halted_ || abandoned_[id]) return;
     emit(obs::TaskReady{id});
     const double rank = cfg_.scheduler == SchedulerPolicy::CriticalPathFirst
                             ? upwardRank_[id]
@@ -281,6 +340,7 @@ class Run {
     dispatchScheduled_ = true;
     sim_.scheduleAfter(0.0, [this] {
       dispatchScheduled_ = false;
+      if (halted_) return;
       dispatch();
     });
   }
@@ -344,20 +404,149 @@ class Run {
     scheduleDispatch();
   }
 
-  // -- regular / cleanup path ---------------------------------------------------
-  void startRegular(TaskId id) {
+  // -- execution attempts & fault mechanics -------------------------------------
+  /// Schedule the completion of one execution attempt and, when the crash
+  /// model is armed, the spot-style loss that may preempt it.  Exactly one
+  /// of the two events fires: a drawn time-to-failure shorter than the
+  /// runtime schedules a crash (which cancels the completion); otherwise no
+  /// crash event exists at all.
+  void registerAttempt(TaskId id, void (Run::*finish)(TaskId)) {
     const dag::Task& t = wf_.task(id);
-    emit(obs::TaskExecStarted{id});
-    sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRegular(id); });
+    Attempt a;
+    a.execStart = sim_.now();
+    a.runtimeSeconds = t.runtimeSeconds;
+    a.finishEvent = sim_.scheduleAfter(
+        t.runtimeSeconds, [this, id, finish] { (this->*finish)(id); });
+    if (injector_) {
+      if (const auto ttf = injector_->drawCrashTime(t.runtimeSeconds))
+        a.crashEvent = sim_.scheduleAfter(*ttf, [this, id] { onCrash(id); });
+    }
+    running_[id] = a;
   }
 
-  /// Failure injection: true if this completion attempt fails and the task
-  /// re-executes (the wasted runtime is billed and counted).
+  /// A processor crash preempted the attempt: the completion event is
+  /// cancelled (Simulator::cancel), the partial work is billed as waste, and
+  /// the task either retries per policy or is permanently failed.  In remote
+  /// I/O mode the dead instance's staged inputs are lost; the retry
+  /// re-stages (and re-bills) them — the paper's "you pay for the S3
+  /// transfer again" accounting.
+  void onCrash(TaskId id) {
+    if (halted_) return;
+    const auto it = running_.find(id);
+    if (it == running_.end())
+      throw std::logic_error("engine: crash for a task with no attempt");
+    const Attempt a = it->second;
+    running_.erase(it);
+    sim_.cancel(a.finishEvent);
+    const double wasted = sim_.now() - a.execStart;
+    result_.cpuBusySeconds += wasted;
+    result_.wastedCpuSeconds += wasted;
+    ++result_.processorCrashes;
+    emit(obs::ProcessorCrashed{id, wasted});
+    bill(obs::Resource::Cpu, id, wasted);
+    bool freed = false;
+    if (cfg_.mode == DataMode::RemoteIO) {
+      if (const auto keys = remoteKeys_.find(id); keys != remoteKeys_.end()) {
+        for (const std::uint64_t key : keys->second) {
+          storage_.erase(key);
+          billErase(key);
+        }
+        freed = !keys->second.empty();
+        remoteKeys_.erase(keys);
+      }
+      pendingIo_.erase(id);
+    }
+    if (freed) unblock();
+    if (const auto delay = injector_->nextRetryDelay(id)) {
+      ++result_.taskRetries;
+      emit(obs::TaskRetryScheduled{id, injector_->attemptsMade(id), *delay});
+      emit(obs::TaskRetried{id});
+      const bool remote = cfg_.mode == DataMode::RemoteIO;
+      sim_.scheduleAfter(*delay, [this, id, remote] {
+        if (halted_) return;
+        if (remote) startRemote(id);
+        else startRegular(id);
+      });
+    } else {
+      failTask(id);
+    }
+  }
+
+  /// Retry budget exhausted: the task is reported failed, its descendants
+  /// can never run and are abandoned, and the rest of the workflow carries
+  /// on (partial results still stage out).
+  void failTask(TaskId id) {
+    emit(obs::TaskFailed{id, injector_->attemptsMade(id)});
+    ++result_.tasksFailed;
+    releaseProcessor();
+    if (cfg_.storageCapacityBytes > 0.0) {
+      reservedBytes_ -= storageDemand(id);  // outputs never materialize
+      unblock();
+    }
+    abandonDescendants(id);
+    if (--tasksRemaining_ == 0) beginStageOut();
+    else scheduleDispatch();
+  }
+
+  void abandonDescendants(TaskId failedTask) {
+    std::vector<std::pair<TaskId, TaskId>> stack;  // (task, sealing ancestor)
+    for (TaskId c : wf_.task(failedTask).children)
+      stack.emplace_back(c, failedTask);
+    while (!stack.empty()) {
+      const auto [id, ancestor] = stack.back();
+      stack.pop_back();
+      if (abandoned_[id]) continue;
+      abandoned_[id] = true;
+      emit(obs::TaskAbandoned{id, ancestor});
+      ++result_.tasksAbandoned;
+      --tasksRemaining_;
+      for (TaskId c : wf_.task(id).children) stack.emplace_back(c, id);
+    }
+  }
+
+  /// The workflow deadline passed: preempt every in-flight attempt (billing
+  /// the partial work as waste), stop dispatching, and report the run
+  /// incomplete.  Already-scheduled calendar events become no-ops via the
+  /// halted_ guards.
+  void onDeadline() {
+    if (finished_ || halted_) return;
+    halted_ = true;
+    result_.deadlineExceeded = true;
+    std::vector<TaskId> inflight;
+    inflight.reserve(running_.size());
+    for (const auto& [id, a] : running_) inflight.push_back(id);
+    std::sort(inflight.begin(), inflight.end());
+    for (const TaskId id : inflight) {
+      const Attempt& a = running_[id];
+      sim_.cancel(a.finishEvent);
+      if (a.crashEvent != sim::kInvalidEvent) sim_.cancel(a.crashEvent);
+      const double wasted =
+          std::min(sim_.now() - a.execStart, a.runtimeSeconds);
+      result_.cpuBusySeconds += wasted;
+      result_.wastedCpuSeconds += wasted;
+      bill(obs::Resource::Cpu, id, wasted);
+    }
+    running_.clear();
+    emit(obs::DeadlineExceeded{tasksRemaining_});
+    finish();
+  }
+
+  // -- regular / cleanup path ---------------------------------------------------
+  void startRegular(TaskId id) {
+    emit(obs::TaskExecStarted{id});
+    registerAttempt(id, &Run::finishRegular);
+  }
+
+  /// Legacy failure injection (the deprecated taskFailureProbability shim,
+  /// routed through faults::FaultInjector): true if this completion attempt
+  /// fails and the task re-executes immediately on the same processor — full
+  /// runtime billed, no retry budget, no re-staging, draw order identical to
+  /// the pre-faults engine.
   bool attemptFails(TaskId id, void (Run::*retry)(TaskId)) {
     const dag::Task& t = wf_.task(id);
-    if (!failureRng_ || !failureRng_->chance(cfg_.taskFailureProbability))
-      return false;
+    if (!injector_ || !injector_->legacyAttemptFails()) return false;
     result_.cpuBusySeconds += t.runtimeSeconds;  // the failed attempt
+    result_.wastedCpuSeconds += t.runtimeSeconds;
     ++result_.taskRetries;
     emit(obs::TaskRetried{id});
     bill(obs::Resource::Cpu, id, t.runtimeSeconds);
@@ -367,6 +556,15 @@ class Run {
   }
 
   void finishRegular(TaskId id) {
+    if (halted_) return;
+    // An S3 outage blocks the output commit: the task holds its processor
+    // until the service returns (extending the billed makespan), then
+    // finishes normally.
+    if (const double at = storage_.availableFrom(sim_.now()); at > sim_.now()) {
+      sim_.schedule(at, [this, id] { finishRegular(id); });
+      return;
+    }
+    running_.erase(id);
     if (attemptFails(id, &Run::finishRegular)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
@@ -413,6 +611,7 @@ class Run {
       const Bytes size = wf_.file(f).size;
       emit(obs::StageInStarted{f, id, size.value()});
       link_.startTransfer(size, [this, id, f, size] {
+        if (halted_) return;
         result_.bytesIn += size;
         ++result_.transfersIn;
         emit(obs::StageInFinished{f, id, size.value()});
@@ -433,10 +632,16 @@ class Run {
       noteStored(key, id, wf_.file(f).size.value());
       keys.push_back(key);
     }
-    sim_.scheduleAfter(t.runtimeSeconds, [this, id] { finishRemote(id); });
+    registerAttempt(id, &Run::finishRemote);
   }
 
   void finishRemote(TaskId id) {
+    if (halted_) return;
+    if (const double at = storage_.availableFrom(sim_.now()); at > sim_.now()) {
+      sim_.schedule(at, [this, id] { finishRemote(id); });
+      return;
+    }
+    running_.erase(id);
     if (attemptFails(id, &Run::finishRemote)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
@@ -461,6 +666,7 @@ class Run {
       noteStored(key, id, size.value());
       emit(obs::StageOutStarted{f, id, size.value()});
       link_.startTransfer(size, [this, id, f, key, size] {
+        if (halted_) return;
         result_.bytesOut += size;
         ++result_.transfersOut;
         storage_.erase(key);
@@ -485,7 +691,13 @@ class Run {
       finish();
       return;
     }
-    const auto outputs = wf_.workflowOutputs();
+    auto outputs = wf_.workflowOutputs();
+    if (result_.tasksFailed + result_.tasksAbandoned > 0) {
+      // Failed branches never produced their outputs; stage out only what is
+      // actually resident.
+      std::erase_if(outputs,
+                    [this](FileId f) { return !storage_.contains(f); });
+    }
     pendingStageOut_ = outputs.size();
     if (pendingStageOut_ == 0) {
       sweepStorageAndFinish();
@@ -495,6 +707,7 @@ class Run {
       const Bytes size = wf_.file(f).size;
       emit(obs::StageOutStarted{f, obs::kNoTask, size.value()});
       link_.startTransfer(size, [this, f, size] {
+        if (halted_) return;
         result_.bytesOut += size;
         ++result_.transfersOut;
         emit(obs::StageOutFinished{f, obs::kNoTask, size.value()});
@@ -537,6 +750,7 @@ class Run {
 
   const Workflow& wf_;
   const EngineConfig& cfg_;
+  const faults::FaultConfig fcfg_;
   dag::CleanupPlan plan_;
 
   sim::Simulator sim_;
@@ -563,7 +777,21 @@ class Run {
 
   std::vector<ReadyEntry> blocked_;  ///< Ready but waiting for storage space.
   double reservedBytes_ = 0.0;       ///< Admitted tasks' unmaterialized bytes.
-  std::optional<Rng> failureRng_;
+
+  /// Fault machinery.  One Attempt per task currently executing: the
+  /// calendar events for its completion and (when drawn) its crash, so
+  /// either outcome can cancel the other.
+  struct Attempt {
+    sim::EventId finishEvent = sim::kInvalidEvent;
+    sim::EventId crashEvent = sim::kInvalidEvent;
+    double execStart = 0.0;
+    double runtimeSeconds = 0.0;
+  };
+  std::optional<faults::FaultInjector> injector_;
+  std::unordered_map<TaskId, Attempt> running_;
+  std::vector<bool> abandoned_;  ///< Descendants of permanently failed tasks.
+  bool halted_ = false;          ///< Deadline hit: pending events are no-ops.
+  int linkSuspends_ = 0;         ///< Overlapping-outage refcount.
 
   int busyCount_ = 0;
   double busyIntegral_ = 0.0;

@@ -24,6 +24,7 @@
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/metrics.hpp"
+#include "mcsim/faults/faults.hpp"
 #include "mcsim/sim/link.hpp"
 
 namespace mcsim::obs {
@@ -70,12 +71,17 @@ struct EngineConfig {
   /// std::runtime_error — which is precisely why dynamic cleanup exists
   /// (§3's storage-constrained-scheduling citation).
   double storageCapacityBytes = 0.0;
-  /// Per-task transient failure probability (paper §8: "reliability and
-  /// availability ... are also an important concern").  A failed task is
-  /// re-executed immediately on the same processor; the wasted runtime is
-  /// billed.  Deterministic per `failureSeed`.
+  /// \deprecated Thin shim over faults.legacy — per-task end-of-attempt
+  /// failure probability (paper §8).  A failed task is re-executed
+  /// immediately on the same processor; the wasted runtime is billed.
+  /// Deterministic per `failureSeed`.  When > 0 it overrides faults.legacy;
+  /// new code should configure `faults` directly.
   double taskFailureProbability = 0.0;
-  std::uint64_t failureSeed = 1;
+  std::uint64_t failureSeed = 1;  ///< \deprecated See taskFailureProbability.
+  /// Fault-injection and recovery models (processor crashes, link/storage
+  /// outages, retry policies, deadlines).  Default-constructed = disabled:
+  /// runs are bit-identical to a fault-free engine.
+  faults::FaultConfig faults;
   /// Record per-task timelines in ExecutionResult::taskRecords (implemented
   /// as an internal obs::Sink consuming the task lifecycle events).
   bool trace = false;

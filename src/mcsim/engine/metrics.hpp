@@ -52,6 +52,18 @@ struct ExecutionResult {
   std::size_t transfersOut = 0;
   std::size_t taskRetries = 0;      ///< Failure-injected re-executions.
   std::size_t tasksEverBlocked = 0; ///< Dispatches deferred for storage space.
+  std::size_t tasksFailed = 0;      ///< Retry budget exhausted; never finished.
+  std::size_t tasksAbandoned = 0;   ///< Skipped: an ancestor failed.
+  std::size_t processorCrashes = 0; ///< Spot-style mid-task losses.
+  double wastedCpuSeconds = 0.0;    ///< Billed compute lost to crashes,
+                                    ///< failed attempts and preemption.
+  bool deadlineExceeded = false;    ///< The run was cut off at the deadline.
+
+  /// True iff every task ran to completion (no permanent failures, no
+  /// abandoned descendants, no deadline cut-off).
+  bool completed() const {
+    return tasksFailed == 0 && tasksAbandoned == 0 && !deadlineExceeded;
+  }
 
   std::vector<TaskRecord> taskRecords;  ///< Indexed by TaskId when traced.
   /// The resident-bytes step curve over the whole run — the literal curve

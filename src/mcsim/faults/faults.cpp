@@ -1,0 +1,152 @@
+#include "mcsim/faults/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcsim::faults {
+
+double RetryPolicy::baseDelay(int retryIndex) const {
+  if (retryIndex < 0)
+    throw std::invalid_argument("RetryPolicy: negative retry index");
+  if (kind == RetryPolicyKind::Fixed) return delaySeconds;
+  // Exponential backoff; pow on small integer exponents is exact enough and
+  // the cap keeps it finite for deep retry chains.
+  double delay = delaySeconds * std::pow(multiplier, retryIndex);
+  if (maxDelaySeconds > 0.0) delay = std::min(delay, maxDelaySeconds);
+  return delay;
+}
+
+double RetryPolicy::delayFor(int retryIndex, Rng* rng) const {
+  double delay = baseDelay(retryIndex);
+  if (jitterFraction > 0.0) {
+    if (rng == nullptr)
+      throw std::invalid_argument("RetryPolicy: jitter requires an Rng");
+    delay *= 1.0 + jitterFraction * rng->uniformReal(0.0, 1.0);
+  }
+  return delay;
+}
+
+void RetryPolicy::validate() const {
+  if (maxRetries < 0)
+    throw std::invalid_argument("RetryPolicy: maxRetries must be >= 0");
+  if (delaySeconds < 0.0)
+    throw std::invalid_argument("RetryPolicy: negative delay");
+  if (multiplier < 1.0)
+    throw std::invalid_argument("RetryPolicy: multiplier must be >= 1");
+  if (maxDelaySeconds < 0.0)
+    throw std::invalid_argument("RetryPolicy: negative delay cap");
+  if (jitterFraction < 0.0 || jitterFraction > 1.0)
+    throw std::invalid_argument("RetryPolicy: jitterFraction must be in [0, 1]");
+}
+
+bool FaultConfig::anyEnabled() const {
+  return processor.mtbfSeconds > 0.0 || !link.outages.empty() ||
+         !storage.outages.empty() || legacy.probability > 0.0 ||
+         deadlineSeconds > 0.0;
+}
+
+namespace {
+void validateWindows(const std::vector<OutageWindow>& windows,
+                     const char* what) {
+  for (const OutageWindow& w : windows)
+    if (w.startSeconds < 0.0 || w.durationSeconds < 0.0)
+      throw std::invalid_argument(std::string("FaultConfig: negative ") +
+                                  what + " outage bounds");
+}
+}  // namespace
+
+void FaultConfig::validate() const {
+  if (processor.mtbfSeconds < 0.0)
+    throw std::invalid_argument("FaultConfig: negative MTBF");
+  validateWindows(link.outages, "link");
+  validateWindows(storage.outages, "storage");
+  retry.validate();
+  if (legacy.probability < 0.0 || legacy.probability >= 1.0)
+    throw std::invalid_argument(
+        "FaultConfig: legacy failure probability must be in [0, 1)");
+  if (deadlineSeconds < 0.0)
+    throw std::invalid_argument("FaultConfig: negative deadline");
+}
+
+std::vector<OutageWindow> generateOutageSchedule(double mtbfSeconds,
+                                                 double mttrSeconds,
+                                                 double horizonSeconds,
+                                                 Rng& rng) {
+  if (mtbfSeconds <= 0.0 || mttrSeconds <= 0.0)
+    throw std::invalid_argument(
+        "generateOutageSchedule: MTBF and MTTR must be positive");
+  if (horizonSeconds < 0.0)
+    throw std::invalid_argument("generateOutageSchedule: negative horizon");
+  std::vector<OutageWindow> out;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(mtbfSeconds);  // up-time until the next failure
+    if (t >= horizonSeconds) break;
+    const double down = rng.exponential(mttrSeconds);
+    out.push_back(OutageWindow{t, std::min(down, horizonSeconds - t)});
+    t += down;
+  }
+  return out;
+}
+
+std::vector<OutageWindow> normalizeOutages(std::vector<OutageWindow> windows) {
+  validateWindows(windows, "");
+  std::sort(windows.begin(), windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.startSeconds < b.startSeconds;
+            });
+  std::vector<OutageWindow> merged;
+  for (const OutageWindow& w : windows) {
+    if (w.durationSeconds <= 0.0) continue;
+    if (!merged.empty() && w.startSeconds <= merged.back().endSeconds()) {
+      const double end = std::max(merged.back().endSeconds(), w.endSeconds());
+      merged.back().durationSeconds = end - merged.back().startSeconds;
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  config_.validate();
+  if (crashModelEnabled() || config_.retry.jitterFraction > 0.0)
+    faultRng_.emplace(config_.seed);
+  if (legacyEnabled()) legacyRng_.emplace(config_.legacy.seed);
+}
+
+std::optional<double> FaultInjector::drawCrashTime(double runtimeSeconds) {
+  if (!crashModelEnabled()) return std::nullopt;
+  const double ttf = faultRng_->exponential(config_.processor.mtbfSeconds);
+  if (ttf >= runtimeSeconds) return std::nullopt;
+  return ttf;
+}
+
+int& FaultInjector::retriesSlot(std::uint32_t task) {
+  if (task >= retriesUsed_.size()) retriesUsed_.resize(task + 1, 0);
+  return retriesUsed_[task];
+}
+
+std::optional<double> FaultInjector::nextRetryDelay(std::uint32_t task) {
+  int& used = retriesSlot(task);
+  if (used >= config_.retry.maxRetries) return std::nullopt;
+  const int retryIndex = used++;
+  // faultRng_ exists whenever jitterFraction > 0 (ctor invariant), so the
+  // null branch only ever reaches a jitter-free delayFor.
+  return config_.retry.delayFor(retryIndex,
+                                faultRng_ ? &*faultRng_ : nullptr);
+}
+
+int FaultInjector::attemptsMade(std::uint32_t task) const {
+  const int used =
+      task < retriesUsed_.size() ? retriesUsed_[task] : 0;
+  return used + 1;
+}
+
+bool FaultInjector::legacyAttemptFails() {
+  if (!legacyRng_) return false;
+  return legacyRng_->chance(config_.legacy.probability);
+}
+
+}  // namespace mcsim::faults

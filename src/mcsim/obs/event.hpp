@@ -149,6 +149,40 @@ struct FileCleanupDeleted {
   double bytes;
 };
 
+// -- fault injection & recovery -----------------------------------------------
+/// The processor executing `task` died mid-attempt (spot-style loss);
+/// `wastedSeconds` of compute were lost and billed.
+struct ProcessorCrashed {
+  std::uint32_t task;
+  double wastedSeconds;
+};
+/// A crashed task was granted a retry: its attempt number `attempt` (1-based
+/// count of attempts already made) will re-execute after `delaySeconds`.
+struct TaskRetryScheduled {
+  std::uint32_t task;
+  int attempt;
+  double delaySeconds;
+};
+/// The task exhausted its retry budget after `attempts` execution attempts
+/// and is permanently failed.
+struct TaskFailed {
+  std::uint32_t task;
+  int attempts;
+};
+/// A descendant of a failed task can never run; `ancestor` is the failed or
+/// abandoned parent that sealed its fate.
+struct TaskAbandoned {
+  std::uint32_t task;
+  std::uint32_t ancestor;
+};
+struct StorageOutageStarted {};
+struct StorageOutageEnded {};
+/// The workflow deadline passed with `unfinishedTasks` tasks incomplete;
+/// every in-flight attempt was preempted and the run reported incomplete.
+struct DeadlineExceeded {
+  std::size_t unfinishedTasks;
+};
+
 /// What a billing line item's `quantity` is denominated in.
 enum class Resource : std::uint8_t {
   Cpu,          ///< quantity = CPU seconds.
@@ -184,7 +218,9 @@ using Payload = std::variant<
     StorageFilePut, StorageFileErased, StorageSampled, RunStarted, RunFinished,
     TaskReady, TaskStarted, TaskExecStarted, TaskFinished, TaskRetried,
     TaskBlocked, StageInStarted, StageInFinished, StageOutStarted,
-    StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted>;
+    StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted,
+    ProcessorCrashed, TaskRetryScheduled, TaskFailed, TaskAbandoned,
+    StorageOutageStarted, StorageOutageEnded, DeadlineExceeded>;
 
 enum class EventKind : std::uint8_t {
   SimEventScheduled,
@@ -217,9 +253,16 @@ enum class EventKind : std::uint8_t {
   FileCleanupDeleted,
   BillingLineItem,
   LogEmitted,
+  ProcessorCrashed,
+  TaskRetryScheduled,
+  TaskFailed,
+  TaskAbandoned,
+  StorageOutageStarted,
+  StorageOutageEnded,
+  DeadlineExceeded,
 };
 
-inline constexpr std::size_t kEventKindCount = 30;
+inline constexpr std::size_t kEventKindCount = 37;
 static_assert(std::variant_size_v<Payload> == kEventKindCount,
               "EventKind and Payload must list the same alternatives");
 

@@ -137,6 +137,26 @@ struct Writer {
     os << ",\"level\":" << p.level << ",\"message\":";
     str(os, p.message);
   }
+  void operator()(const ProcessorCrashed& p) {
+    os << ",\"task\":" << p.task << ",\"wasted_seconds\":";
+    num(os, p.wastedSeconds);
+  }
+  void operator()(const TaskRetryScheduled& p) {
+    os << ",\"task\":" << p.task << ",\"attempt\":" << p.attempt
+       << ",\"delay_seconds\":";
+    num(os, p.delaySeconds);
+  }
+  void operator()(const TaskFailed& p) {
+    os << ",\"task\":" << p.task << ",\"attempts\":" << p.attempts;
+  }
+  void operator()(const TaskAbandoned& p) {
+    os << ",\"task\":" << p.task << ",\"ancestor\":" << p.ancestor;
+  }
+  void operator()(const StorageOutageStarted&) {}
+  void operator()(const StorageOutageEnded&) {}
+  void operator()(const DeadlineExceeded& p) {
+    os << ",\"unfinished_tasks\":" << p.unfinishedTasks;
+  }
 
   void stage(std::uint32_t file, std::uint32_t task, double bytes) {
     os << ",\"file\":" << file;

@@ -140,6 +140,16 @@ MetricsSink::MetricsSink(MetricsRegistry& registry)
                                        "Files removed by dynamic cleanup")),
       logMessages_(registry.counter("mcsim_log_messages_total",
                                     "Log records routed through the bus")),
+      processorCrashes_(registry.counter("mcsim_processor_crashes_total",
+                                         "Spot-style mid-task processor losses")),
+      tasksFailed_(registry.counter("mcsim_tasks_failed_total",
+                                    "Tasks that exhausted their retry budget")),
+      tasksAbandoned_(registry.counter(
+          "mcsim_tasks_abandoned_total",
+          "Tasks skipped because an ancestor permanently failed")),
+      wastedCpuSeconds_(registry.counter(
+          "mcsim_wasted_cpu_seconds_total",
+          "Billed compute lost to crashes and deadline preemption")),
       activeTransfers_(registry.gauge("mcsim_link_active_transfers",
                                       "Transfers currently sharing the link")),
       busyProcessors_(registry.gauge("mcsim_processors_busy",
@@ -247,6 +257,13 @@ void MetricsSink::onEvent(const Event& event) {
     }
     case EventKind::TaskRetried: tasksRetried_.increment(); break;
     case EventKind::TaskBlocked: tasksBlocked_.increment(); break;
+    case EventKind::ProcessorCrashed:
+      processorCrashes_.increment();
+      wastedCpuSeconds_.increment(
+          std::get<ProcessorCrashed>(event.payload).wastedSeconds);
+      break;
+    case EventKind::TaskFailed: tasksFailed_.increment(); break;
+    case EventKind::TaskAbandoned: tasksAbandoned_.increment(); break;
     case EventKind::FileCleanupDeleted: cleanupDeletes_.increment(); break;
     case EventKind::LogEmitted: logMessages_.increment(); break;
     default: break;  // progress, suspend/resume, run markers, line items

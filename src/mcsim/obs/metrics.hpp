@@ -130,6 +130,10 @@ class MetricsSink final : public Sink {
   Counter& storageErases_;
   Counter& cleanupDeletes_;
   Counter& logMessages_;
+  Counter& processorCrashes_;
+  Counter& tasksFailed_;
+  Counter& tasksAbandoned_;
+  Counter& wastedCpuSeconds_;
   Gauge& activeTransfers_;
   Gauge& busyProcessors_;
   Gauge& queueDepth_;

@@ -94,6 +94,11 @@ RunReport ReportBuilder::build(const dag::Workflow& wf,
   report.peakStorageBytes = result.peakStorageBytes.value();
   report.tasksExecuted = result.tasksExecuted;
   report.taskRetries = result.taskRetries;
+  report.tasksFailed = result.tasksFailed;
+  report.tasksAbandoned = result.tasksAbandoned;
+  report.processorCrashes = result.processorCrashes;
+  report.wastedCpuSeconds = result.wastedCpuSeconds;
+  report.deadlineExceeded = result.deadlineExceeded;
 
   report.totals = engine::computeCost(result, pricing, cpuMode, granularity);
 
@@ -161,7 +166,13 @@ void writeReportJson(std::ostream& os, const RunReport& r) {
      << ",\"storage_gb_hours\":" << num(r.storageGBHours)
      << ",\"peak_storage_bytes\":" << num(r.peakStorageBytes)
      << ",\"tasks_executed\":" << r.tasksExecuted
-     << ",\"task_retries\":" << r.taskRetries << "},\n";
+     << ",\"task_retries\":" << r.taskRetries
+     << ",\"tasks_failed\":" << r.tasksFailed
+     << ",\"tasks_abandoned\":" << r.tasksAbandoned
+     << ",\"processor_crashes\":" << r.processorCrashes
+     << ",\"wasted_cpu_seconds\":" << num(r.wastedCpuSeconds)
+     << ",\"deadline_exceeded\":" << (r.deadlineExceeded ? "true" : "false")
+     << "},\n";
   os << "  \"totals\": {\"cpu\":" << num(r.totals.cpu.value())
      << ",\"storage\":" << num(r.totals.storage.value())
      << ",\"transfer_in\":" << num(r.totals.transferIn.value())

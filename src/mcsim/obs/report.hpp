@@ -77,6 +77,11 @@ struct RunReport {
   double peakStorageBytes = 0.0;
   std::size_t tasksExecuted = 0;
   std::size_t taskRetries = 0;
+  std::size_t tasksFailed = 0;
+  std::size_t tasksAbandoned = 0;
+  std::size_t processorCrashes = 0;
+  double wastedCpuSeconds = 0.0;
+  bool deadlineExceeded = false;
 
   /// Authoritative totals — identical to engine::computeCost on the run's
   /// ExecutionResult.

@@ -47,6 +47,13 @@ const char* eventName(EventKind kind) {
     case EventKind::FileCleanupDeleted: return "file_cleanup_deleted";
     case EventKind::BillingLineItem: return "billing_line_item";
     case EventKind::LogEmitted: return "log";
+    case EventKind::ProcessorCrashed: return "processor_crashed";
+    case EventKind::TaskRetryScheduled: return "task_retry_scheduled";
+    case EventKind::TaskFailed: return "task_failed";
+    case EventKind::TaskAbandoned: return "task_abandoned";
+    case EventKind::StorageOutageStarted: return "storage_outage_started";
+    case EventKind::StorageOutageEnded: return "storage_outage_ended";
+    case EventKind::DeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

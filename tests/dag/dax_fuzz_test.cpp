@@ -1,0 +1,105 @@
+// DAX reader fuzzing: random workflows must survive a write -> parse ->
+// write round trip byte-for-byte, and mangled documents must be rejected
+// with an exception — never a crash, hang or silently wrong graph.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "mcsim/dag/dax.hpp"
+#include "mcsim/dag/random_dag.hpp"
+#include "mcsim/util/rng.hpp"
+
+namespace mcsim::dag {
+namespace {
+
+class DaxFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DaxFuzz,
+                         ::testing::Range<std::uint64_t>(900, 920));
+
+TEST_P(DaxFuzz, RandomWorkflowsRoundTripByteForByte) {
+  const Workflow wf = makeRandomWorkflow(GetParam());
+  const std::string once = writeDax(wf);
+  const Workflow parsed = readDax(once);
+  EXPECT_EQ(parsed.taskCount(), wf.taskCount());
+  // DAX carries files only through job <uses> entries, so files no task
+  // references cannot survive the trip; everything reachable must.
+  std::set<FileId> used;
+  double usedBytes = 0.0;
+  for (const Task& t : wf.tasks()) {
+    for (const FileId f : t.inputs) used.insert(f);
+    for (const FileId f : t.outputs) used.insert(f);
+  }
+  for (const FileId f : used) usedBytes += wf.file(f).size.value();
+  EXPECT_EQ(parsed.fileCount(), used.size());
+  // The writer emits 6 significant digits, so values survive a parse only
+  // to that precision; the structure must survive exactly.
+  EXPECT_NEAR(parsed.totalRuntimeSeconds(), wf.totalRuntimeSeconds(),
+              1e-5 * wf.totalRuntimeSeconds());
+  EXPECT_NEAR(parsed.totalFileBytes().value(), usedBytes, 1e-5 * usedBytes);
+  for (const Task& t : wf.tasks()) {
+    EXPECT_EQ(parsed.task(t.id).parents, t.parents);
+    EXPECT_EQ(parsed.task(t.id).inputs.size(), t.inputs.size());
+    EXPECT_EQ(parsed.task(t.id).outputs.size(), t.outputs.size());
+  }
+  // The fixed point: serializing the parse reproduces the document exactly.
+  EXPECT_EQ(writeDax(parsed), once);
+}
+
+TEST_P(DaxFuzz, TruncatedDocumentsAreRejectedNotCrashed) {
+  const std::string full = writeDax(makeRandomWorkflow(GetParam()));
+  Rng rng(GetParam() * 7 + 3);
+  for (int i = 0; i < 32; ++i) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(full.size()) - 1));
+    const std::string broken = full.substr(0, cut);
+    try {
+      const Workflow wf = readDax(broken);
+      // A prefix that still parses must at least be a coherent graph.
+      EXPECT_LE(wf.taskCount(), 1000u);
+    } catch (const std::exception&) {
+      // Rejection is the expected outcome; any std::exception is fine.
+    }
+  }
+}
+
+TEST_P(DaxFuzz, MutatedDocumentsNeverEscapeAsNonExceptions) {
+  const std::string full = writeDax(makeRandomWorkflow(GetParam()));
+  Rng rng(GetParam() * 13 + 5);
+  for (int i = 0; i < 32; ++i) {
+    std::string mangled = full;
+    // Flip a handful of bytes to printable garbage.
+    const int flips = static_cast<int>(rng.uniformInt(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(mangled.size()) - 1));
+      mangled[pos] = static_cast<char>(rng.uniformInt(32, 126));
+    }
+    try {
+      readDax(mangled);  // may succeed if the mutation was harmless
+    } catch (const std::exception&) {
+      // Parse/structure errors are all derived from std::exception.
+    }
+  }
+}
+
+TEST(DaxFuzz, ClassicMalformations) {
+  EXPECT_THROW(readDax(""), std::exception);
+  EXPECT_THROW(readDax("<adag"), std::exception);
+  EXPECT_THROW(readDax("<adag><job id='A' runtime='1'/>"), std::exception);
+  EXPECT_THROW(readDax("not xml at all"), std::exception);
+  EXPECT_THROW(readDax("<adag><job id=\"A\" runtime=\"nan-ish\"/></adag>"),
+               std::exception);
+  EXPECT_THROW(
+      readDax(R"(<adag><job id="A" runtime="1"/><job id="A" runtime="2"/></adag>)"),
+      std::exception);
+  EXPECT_THROW(
+      readDax(R"(<adag><job id="A" runtime="1">
+                   <uses file="f" link="sideways" size="1"/></job></adag>)"),
+      std::exception);
+}
+
+}  // namespace
+}  // namespace mcsim::dag

@@ -1,0 +1,280 @@
+// Unit tests for the fault models and their engine mechanics: retry
+// policies, outage schedules, the crash model's preemption/billing, failure
+// propagation and deadlines.
+#include "mcsim/faults/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "../common/fixtures.hpp"
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/util/rng.hpp"
+
+namespace mcsim::faults {
+namespace {
+
+TEST(RetryPolicy, FixedDelayIgnoresAttemptIndex) {
+  RetryPolicy p;
+  p.kind = RetryPolicyKind::Fixed;
+  p.delaySeconds = 7.0;
+  EXPECT_DOUBLE_EQ(p.baseDelay(0), 7.0);
+  EXPECT_DOUBLE_EQ(p.baseDelay(5), 7.0);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy p;
+  p.kind = RetryPolicyKind::ExponentialBackoff;
+  p.delaySeconds = 2.0;
+  p.multiplier = 3.0;
+  p.maxDelaySeconds = 30.0;
+  EXPECT_DOUBLE_EQ(p.baseDelay(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.baseDelay(1), 6.0);
+  EXPECT_DOUBLE_EQ(p.baseDelay(2), 18.0);
+  EXPECT_DOUBLE_EQ(p.baseDelay(3), 30.0);  // capped, not 54
+  EXPECT_DOUBLE_EQ(p.baseDelay(9), 30.0);
+}
+
+TEST(RetryPolicy, JitterStretchesWithinTheConfiguredFraction) {
+  RetryPolicy p;
+  p.delaySeconds = 10.0;
+  p.jitterFraction = 0.5;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double d = p.delayFor(0, &rng);
+    EXPECT_GE(d, 10.0);
+    EXPECT_LT(d, 15.0);
+  }
+}
+
+TEST(RetryPolicy, JitterWithoutRngThrows) {
+  RetryPolicy p;
+  p.delaySeconds = 1.0;
+  p.jitterFraction = 0.1;
+  EXPECT_THROW(p.delayFor(0, nullptr), std::invalid_argument);
+  p.jitterFraction = 0.0;
+  EXPECT_DOUBLE_EQ(p.delayFor(0, nullptr), 1.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsNonsense) {
+  RetryPolicy p;
+  p.maxRetries = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.delaySeconds = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.multiplier = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.jitterFraction = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Outages, NormalizeSortsAndMergesOverlaps) {
+  const auto merged = normalizeOutages({{100.0, 50.0},   // [100,150)
+                                        {20.0, 30.0},    // [20,50)
+                                        {140.0, 20.0},   // overlaps the first
+                                        {50.0, 10.0}});  // adjacent to [20,50)
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].startSeconds, 20.0);
+  EXPECT_DOUBLE_EQ(merged[0].endSeconds(), 60.0);
+  EXPECT_DOUBLE_EQ(merged[1].startSeconds, 100.0);
+  EXPECT_DOUBLE_EQ(merged[1].endSeconds(), 160.0);
+}
+
+TEST(Outages, NormalizeRejectsNegativeBounds) {
+  EXPECT_THROW(normalizeOutages({{-1.0, 5.0}}), std::invalid_argument);
+  EXPECT_THROW(normalizeOutages({{1.0, -5.0}}), std::invalid_argument);
+}
+
+TEST(Outages, GeneratedScheduleIsDeterministicSortedAndBounded) {
+  Rng a(11), b(11);
+  const auto s1 = generateOutageSchedule(500.0, 60.0, 10000.0, a);
+  const auto s2 = generateOutageSchedule(500.0, 60.0, 10000.0, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  EXPECT_FALSE(s1.empty());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1[i].startSeconds, s2[i].startSeconds);
+    EXPECT_DOUBLE_EQ(s1[i].durationSeconds, s2[i].durationSeconds);
+    EXPECT_LT(s1[i].startSeconds, 10000.0);
+    if (i > 0) EXPECT_GE(s1[i].startSeconds, s1[i - 1].endSeconds());
+  }
+}
+
+TEST(FaultInjector, RetryBudgetIsPerTaskAndExhausts) {
+  FaultConfig fc;
+  fc.processor.mtbfSeconds = 100.0;
+  fc.retry.maxRetries = 2;
+  fc.retry.delaySeconds = 1.0;
+  FaultInjector inj(fc);
+  EXPECT_TRUE(inj.nextRetryDelay(4).has_value());
+  EXPECT_TRUE(inj.nextRetryDelay(4).has_value());
+  EXPECT_FALSE(inj.nextRetryDelay(4).has_value());  // budget spent
+  EXPECT_TRUE(inj.nextRetryDelay(9).has_value());   // other task unaffected
+  EXPECT_EQ(inj.attemptsMade(4), 3);
+}
+
+TEST(FaultInjector, CrashDrawOnlyLandsInsideTheRuntime) {
+  FaultConfig fc;
+  fc.processor.mtbfSeconds = 50.0;
+  FaultInjector inj(fc);
+  for (int i = 0; i < 200; ++i) {
+    if (const auto ttf = inj.drawCrashTime(30.0)) {
+      EXPECT_GT(*ttf, 0.0);
+      EXPECT_LT(*ttf, 30.0);
+    }
+  }
+}
+
+TEST(FaultConfig, AnyEnabledCoversEachModel) {
+  FaultConfig fc;
+  EXPECT_FALSE(fc.anyEnabled());
+  fc.processor.mtbfSeconds = 1.0;
+  EXPECT_TRUE(fc.anyEnabled());
+  fc = {};
+  fc.link.outages = {{1.0, 1.0}};
+  EXPECT_TRUE(fc.anyEnabled());
+  fc = {};
+  fc.storage.outages = {{1.0, 1.0}};
+  EXPECT_TRUE(fc.anyEnabled());
+  fc = {};
+  fc.legacy.probability = 0.5;
+  EXPECT_TRUE(fc.anyEnabled());
+  fc = {};
+  fc.deadlineSeconds = 10.0;
+  EXPECT_TRUE(fc.anyEnabled());
+}
+
+// ---- engine mechanics ------------------------------------------------------
+
+engine::EngineConfig crashConfig(double mtbf, int retries) {
+  engine::EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.faults.processor.mtbfSeconds = mtbf;
+  cfg.faults.retry.maxRetries = retries;
+  cfg.faults.retry.delaySeconds = 1.0;
+  cfg.faults.seed = 5;
+  return cfg;
+}
+
+TEST(EngineFaults, HostileMtbfExhaustsBudgetsAndFailsTheWorkflow) {
+  const dag::Workflow wf = test::makeChainWorkflow(4, 100.0);
+  // MTBF far below the runtime: every attempt crashes almost immediately.
+  const auto r = engine::simulateWorkflow(wf, crashConfig(0.001, 2));
+  EXPECT_EQ(r.tasksFailed, 1u);       // the chain head fails...
+  EXPECT_EQ(r.tasksAbandoned, 3u);    // ...sealing all descendants
+  EXPECT_EQ(r.tasksExecuted, 0u);
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.processorCrashes, 3u);  // 1 + maxRetries attempts
+  EXPECT_EQ(r.taskRetries, 2u);
+  EXPECT_GT(r.wastedCpuSeconds, 0.0);
+  EXPECT_NEAR(r.cpuBusySeconds, r.wastedCpuSeconds, 1e-9);
+}
+
+TEST(EngineFaults, FailedBranchStillStagesOutTheSurvivors) {
+  // Fork-join: the join can never run once a worker fails, but the run
+  // finishes and reports the abandonment chain.
+  const dag::Workflow wf = test::makeForkJoinWorkflow(3, 50.0);
+  const auto r = engine::simulateWorkflow(wf, crashConfig(0.001, 1));
+  EXPECT_FALSE(r.completed());
+  EXPECT_GE(r.tasksFailed, 1u);
+  EXPECT_EQ(r.tasksExecuted + r.tasksFailed + r.tasksAbandoned,
+            wf.taskCount());
+}
+
+TEST(EngineFaults, RemoteCrashRestagesInputs) {
+  const dag::Workflow wf = test::makeChainWorkflow(3, 50.0);
+  engine::EngineConfig cfg;
+  cfg.mode = engine::DataMode::RemoteIO;
+  cfg.processors = 2;
+  const auto clean = engine::simulateWorkflow(wf, cfg);
+
+  cfg.faults.processor.mtbfSeconds = 60.0;
+  cfg.faults.retry.maxRetries = 50;  // ample: the workflow must complete
+  cfg.faults.seed = 3;
+  const auto faulty = engine::simulateWorkflow(wf, cfg);
+  ASSERT_GT(faulty.processorCrashes, 0u);
+  EXPECT_TRUE(faulty.completed());
+  // Every crash threw away staged inputs; the retry transferred them again.
+  EXPECT_GT(faulty.bytesIn.value(), clean.bytesIn.value());
+  EXPECT_GT(faulty.transfersIn, clean.transfersIn);
+  EXPECT_NEAR(faulty.cpuBusySeconds,
+              wf.totalRuntimeSeconds() + faulty.wastedCpuSeconds, 1e-6);
+}
+
+TEST(EngineFaults, DeadlinePreemptsAndReportsIncomplete) {
+  const dag::Workflow wf = test::makeChainWorkflow(5, 100.0);
+  engine::EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.faults.deadlineSeconds = 250.0;  // mid third task
+  const auto r = engine::simulateWorkflow(wf, cfg);
+  EXPECT_TRUE(r.deadlineExceeded);
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.tasksExecuted, 2u);
+  EXPECT_NEAR(r.makespanSeconds, 250.0, 1e-9);
+  // The third task was mid-flight (the run starts with a 0.8 s stage-in, so
+  // it had run 49.2 s); its partial work is billed as waste.
+  EXPECT_GT(r.wastedCpuSeconds, 0.0);
+  EXPECT_LT(r.wastedCpuSeconds, 100.0);
+  EXPECT_NEAR(r.cpuBusySeconds, 200.0 + r.wastedCpuSeconds, 1e-6);
+}
+
+TEST(EngineFaults, GenerousDeadlineChangesNothing) {
+  const dag::Workflow wf = test::makeChainWorkflow(4, 10.0);
+  engine::EngineConfig cfg;
+  cfg.processors = 2;
+  const auto base = engine::simulateWorkflow(wf, cfg);
+  cfg.faults.deadlineSeconds = 1e9;
+  const auto bounded = engine::simulateWorkflow(wf, cfg);
+  EXPECT_FALSE(bounded.deadlineExceeded);
+  EXPECT_TRUE(bounded.completed());
+  EXPECT_DOUBLE_EQ(bounded.makespanSeconds, base.makespanSeconds);
+  EXPECT_DOUBLE_EQ(bounded.cpuBusySeconds, base.cpuBusySeconds);
+}
+
+TEST(EngineFaults, StorageOutageDefersCompletionAndExtendsMakespan) {
+  // One 10 s task; storage is down over [5, 40): the task finishes computing
+  // at 10 but can only commit its output at 40.
+  const dag::Workflow wf = test::makeChainWorkflow(1, 10.0);
+  engine::EngineConfig cfg;
+  cfg.processors = 1;
+  const auto base = engine::simulateWorkflow(wf, cfg);
+  cfg.faults.storage.outages = {{5.0, 35.0}};
+  const auto r = engine::simulateWorkflow(wf, cfg);
+  EXPECT_TRUE(r.completed());
+  // Output committed at 40 (window end), then the 0.8 s stage-out.
+  EXPECT_NEAR(r.makespanSeconds, 40.8, 1e-6);
+  EXPECT_GT(r.makespanSeconds, base.makespanSeconds);
+  EXPECT_DOUBLE_EQ(r.cpuBusySeconds, base.cpuBusySeconds);
+}
+
+TEST(EngineFaults, LinkOutageWindowsStallTransfers) {
+  const dag::Workflow wf = test::makeChainWorkflow(1, 10.0);
+  engine::EngineConfig cfg;
+  cfg.processors = 1;
+  const auto base = engine::simulateWorkflow(wf, cfg);
+  // The stage-in starts at t=0; a [0, 60) fault-model link outage delays it.
+  cfg.faults.link.outages = {{0.0, 60.0}};
+  const auto r = engine::simulateWorkflow(wf, cfg);
+  EXPECT_NEAR(r.makespanSeconds - base.makespanSeconds, 60.0, 1e-6);
+}
+
+TEST(EngineFaults, ValidationRejectsBadFaultConfigs) {
+  const dag::Workflow wf = test::makeChainWorkflow(1);
+  engine::EngineConfig cfg;
+  cfg.faults.processor.mtbfSeconds = -1.0;
+  EXPECT_THROW(engine::simulateWorkflow(wf, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.faults.deadlineSeconds = -5.0;
+  EXPECT_THROW(engine::simulateWorkflow(wf, cfg), std::invalid_argument);
+  cfg = {};
+  cfg.faults.retry.multiplier = 0.0;
+  cfg.faults.processor.mtbfSeconds = 10.0;
+  EXPECT_THROW(engine::simulateWorkflow(wf, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim::faults

@@ -1,0 +1,85 @@
+// Property tests for retry policies: budget caps, backoff monotonicity and
+// jitter bounds must hold for every configuration, not just the defaults.
+#include <gtest/gtest.h>
+
+#include "mcsim/faults/faults.hpp"
+#include "mcsim/util/rng.hpp"
+
+namespace mcsim::faults {
+namespace {
+
+class RetryProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryProperties,
+                         ::testing::Range<std::uint64_t>(500, 520));
+
+RetryPolicy randomPolicy(Rng& rng) {
+  RetryPolicy p;
+  p.kind = rng.chance(0.5) ? RetryPolicyKind::Fixed
+                           : RetryPolicyKind::ExponentialBackoff;
+  p.maxRetries = static_cast<int>(rng.uniformInt(0, 8));
+  p.delaySeconds = rng.uniformReal(0.0, 60.0);
+  p.multiplier = rng.uniformReal(1.0, 4.0);
+  p.maxDelaySeconds = rng.chance(0.5) ? rng.uniformReal(1.0, 300.0) : 0.0;
+  p.jitterFraction = rng.chance(0.5) ? rng.uniformReal(0.0, 1.0) : 0.0;
+  return p;
+}
+
+TEST_P(RetryProperties, BaseDelayIsMonotoneAndRespectsTheCap) {
+  Rng rng(GetParam());
+  const RetryPolicy p = randomPolicy(rng);
+  p.validate();
+  for (int i = 1; i < 12; ++i) {
+    EXPECT_GE(p.baseDelay(i), p.baseDelay(i - 1) - 1e-12);
+    if (p.maxDelaySeconds > 0.0)
+      EXPECT_LE(p.baseDelay(i), p.maxDelaySeconds + 1e-12);
+  }
+}
+
+TEST_P(RetryProperties, JitteredDelayStaysInsideItsEnvelope) {
+  Rng rng(GetParam());
+  const RetryPolicy p = randomPolicy(rng);
+  Rng jitterRng(GetParam() * 31 + 1);
+  for (int i = 0; i < 12; ++i) {
+    const double base = p.baseDelay(i);
+    const double d = p.delayFor(i, &jitterRng);
+    EXPECT_GE(d, base - 1e-12);
+    EXPECT_LE(d, base * (1.0 + p.jitterFraction) + 1e-9);
+  }
+}
+
+TEST_P(RetryProperties, NoTaskIsEverGrantedMoreThanItsBudget) {
+  Rng rng(GetParam());
+  FaultConfig fc;
+  fc.retry = randomPolicy(rng);
+  fc.processor.mtbfSeconds = rng.uniformReal(1.0, 1000.0);
+  fc.seed = GetParam();
+  FaultInjector inj(fc);
+  for (std::uint32_t task = 0; task < 16; ++task) {
+    int granted = 0;
+    // Ask for far more retries than the budget allows.
+    for (int i = 0; i < fc.retry.maxRetries + 5; ++i)
+      if (inj.nextRetryDelay(task)) ++granted;
+    EXPECT_EQ(granted, fc.retry.maxRetries);
+    // Once exhausted, the budget stays exhausted.
+    EXPECT_FALSE(inj.nextRetryDelay(task).has_value());
+    EXPECT_EQ(inj.attemptsMade(task), fc.retry.maxRetries + 1);
+  }
+}
+
+TEST_P(RetryProperties, GrantedDelaysFollowThePolicyOrder) {
+  Rng rng(GetParam());
+  FaultConfig fc;
+  fc.retry = randomPolicy(rng);
+  fc.retry.jitterFraction = 0.0;  // isolate the base schedule
+  fc.seed = GetParam();
+  FaultInjector inj(fc);
+  double prev = -1.0;
+  while (const auto d = inj.nextRetryDelay(0)) {
+    EXPECT_GE(*d, prev - 1e-12);  // fixed: equal; backoff: non-decreasing
+    prev = *d;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim::faults

@@ -87,6 +87,13 @@ TEST(EventJson, EveryPayloadAlternativeSerializesToValidJson) {
       {0.0, FileCleanupDeleted{1, 2, 10.0}},
       {0.0, BillingLineItem{Resource::Cpu, 1, 10.0}},
       {-1.0, LogEmitted{0, "x"}},
+      {0.0, ProcessorCrashed{1, 4.5}},
+      {0.0, TaskRetryScheduled{1, 2, 30.0}},
+      {0.0, TaskFailed{1, 3}},
+      {0.0, TaskAbandoned{2, 1}},
+      {0.0, StorageOutageStarted{}},
+      {0.0, StorageOutageEnded{}},
+      {0.0, DeadlineExceeded{5}},
   };
   ASSERT_EQ(one_of_each.size(), kEventKindCount);
   for (const Event& e : one_of_each) {

@@ -5,6 +5,7 @@
 //   mcsim sweep    --workflow montage:4 [--procs 1,2,4,...]
 //   mcsim modes    --workflow cybershake
 //   mcsim ccr      --workflow montage:1 --procs 8 --targets 0.053,0.5,2
+//   mcsim reliability --workflow montage:1 --mtbf 900,3600,14400
 //   mcsim dax      --workflow montage:1 --out montage1.dax
 //
 // --workflow accepts montage:<degrees>, cybershake, epigenomics, inspiral,
@@ -14,6 +15,7 @@
 #include <sstream>
 
 #include "mcsim/analysis/experiments.hpp"
+#include "mcsim/analysis/reliability.hpp"
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/dag/dax.hpp"
@@ -21,6 +23,7 @@
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/engine/trace.hpp"
 #include "mcsim/engine/trace_export.hpp"
+#include "mcsim/faults/faults.hpp"
 #include "mcsim/montage/factory.hpp"
 #include "mcsim/obs/telemetry.hpp"
 #include "mcsim/util/args.hpp"
@@ -39,6 +42,7 @@ commands:
   sweep     Question-1 provisioning sweep (Fig 4-6 style)
   modes     Question-2 data-mode comparison (Fig 7-9 style)
   ccr       Fig-11 style CCR sweep
+  reliability  cost vs. processor MTBF across the three data modes
   dax       write the workflow as a DAX XML file
 
 common options:
@@ -56,6 +60,15 @@ common options:
                       in simulated seconds                  (default 60)
   --log-level <l>     debug | info | warn | error | off     (default warn)
   --csv               machine-readable output where supported
+
+fault injection (simulate: single --mtbf; reliability: comma list):
+  --mtbf <s|list>     processor MTBF in simulated seconds; 0 = off
+  --retries <n>       retry budget per task                 (default 3)
+  --retry-policy <p>  fixed | backoff                       (default fixed)
+  --retry-delay <s>   delay before re-attempt (backoff base)(default 0)
+  --jitter <f>        backoff jitter fraction               (default 0)
+  --deadline <s>      (simulate) workflow deadline; 0 = none
+  --fault-seed <n>    fault Rng seed                        (default 1)
 )";
 
 dag::Workflow loadWorkflow(const std::string& spec) {
@@ -104,6 +117,30 @@ std::vector<double> parseDoubleList(const std::string& text) {
   return out;
 }
 
+faults::RetryPolicy parseRetryFlags(const ArgParser& args) {
+  faults::RetryPolicy retry;
+  const std::string policy = args.valueOr("retry-policy", "fixed");
+  if (policy == "fixed") retry.kind = faults::RetryPolicyKind::Fixed;
+  else if (policy == "backoff")
+    retry.kind = faults::RetryPolicyKind::ExponentialBackoff;
+  else
+    throw std::invalid_argument("unknown retry policy '" + policy +
+                                "' (want fixed|backoff)");
+  retry.maxRetries = args.intOr("retries", 3);
+  retry.delaySeconds = args.numberOr("retry-delay", 0.0);
+  retry.jitterFraction = args.numberOr("jitter", 0.0);
+  return retry;
+}
+
+/// simulate's fault knobs: a single-MTBF crash model plus deadline.
+void applyFaultFlags(engine::EngineConfig& cfg, const ArgParser& args) {
+  cfg.faults.processor.mtbfSeconds = args.numberOr("mtbf", 0.0);
+  cfg.faults.retry = parseRetryFlags(args);
+  cfg.faults.deadlineSeconds = args.numberOr("deadline", 0.0);
+  cfg.faults.seed =
+      static_cast<std::uint64_t>(args.numberOr("fault-seed", 1.0));
+}
+
 int cmdInfo(const dag::Workflow& wf, const ArgParser&) {
   Table t({"property", "value"}, {Align::Left, Align::Left});
   t.addRow({"name", wf.name()});
@@ -141,6 +178,7 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   cfg.processors = args.intOr("procs", 8);
   cfg.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
   cfg.trace = true;
+  applyFaultFlags(cfg, args);
 
   // --telemetry-dir: observe the whole run and write the three artifacts.
   // Log messages join the same event stream while the session is live.
@@ -155,6 +193,16 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   const auto result = engine::simulateWorkflow(wf, cfg);
   std::cout << engine::summarize(wf, result) << "\n\n";
   engine::printLevelSummary(std::cout, wf, result);
+  if (result.processorCrashes + result.tasksFailed + result.tasksAbandoned >
+          0 ||
+      result.deadlineExceeded) {
+    std::cout << "\nfaults: " << result.processorCrashes << " crashes, "
+              << result.taskRetries << " retries, " << result.tasksFailed
+              << " failed, " << result.tasksAbandoned << " abandoned, "
+              << formatDuration(result.wastedCpuSeconds) << " wasted cpu";
+    if (result.deadlineExceeded) std::cout << ", DEADLINE EXCEEDED";
+    std::cout << "\n";
+  }
 
   const cloud::Pricing pricing = cloud::Pricing::amazon2008();
   const auto provisioned = engine::computeCost(
@@ -214,6 +262,22 @@ int cmdCcr(const dag::Workflow& wf, const ArgParser& args) {
   return 0;
 }
 
+int cmdReliability(const dag::Workflow& wf, const ArgParser& args) {
+  analysis::ReliabilityConfig rc;
+  rc.mtbfSeconds = {900.0, 3600.0, 14400.0};  // 15 min, 1 h, 4 h
+  if (const auto list = args.value("mtbf"))
+    rc.mtbfSeconds = parseDoubleList(*list);
+  rc.retry = parseRetryFlags(args);
+  rc.faultSeed = static_cast<std::uint64_t>(args.numberOr("fault-seed", 1.0));
+  rc.processorOverride = args.intOr("procs", 0);
+  engine::EngineConfig base;
+  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  const auto points = analysis::reliabilitySweep(
+      wf, cloud::Pricing::amazon2008(), rc, base);
+  analysis::reliabilityTable(points).print(std::cout);
+  return 0;
+}
+
 int cmdDax(const dag::Workflow& wf, const ArgParser& args) {
   const auto out = args.value("out");
   if (!out) throw std::invalid_argument("dax: --out <path> required");
@@ -237,7 +301,8 @@ int main(int argc, char** argv) {
     }
     ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
                     "out", "trace", "telemetry-dir", "sample-period",
-                    "log-level"},
+                    "log-level", "mtbf", "retries", "retry-policy",
+                    "retry-delay", "jitter", "deadline", "fault-seed"},
                    {"csv"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
@@ -249,6 +314,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmdSweep(wf, args);
     if (command == "modes") return cmdModes(wf, args);
     if (command == "ccr") return cmdCcr(wf, args);
+    if (command == "reliability") return cmdReliability(wf, args);
     if (command == "dax") return cmdDax(wf, args);
     std::cerr << "unknown command '" << command << "'\n" << kUsage;
     return 2;
