@@ -3,15 +3,22 @@
 // CPU cost against hour-rounded billing across the provisioning ladder.
 #include "common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
   const auto ladder = analysis::defaultProcessorLadder();
+  const int jobs = bench::parseJobs(argc, argv);
   const auto perSecond = analysis::provisioningSweep(
-      wf, ladder, amazon, {}, cloud::BillingGranularity::PerSecond);
+      wf, amazon,
+      {.processorCounts = ladder,
+       .granularity = cloud::BillingGranularity::PerSecond,
+       .jobs = jobs});
   const auto perHour = analysis::provisioningSweep(
-      wf, ladder, amazon, {}, cloud::BillingGranularity::PerHour);
+      wf, amazon,
+      {.processorCounts = ladder,
+       .granularity = cloud::BillingGranularity::PerHour,
+       .jobs = jobs});
 
   std::cout << sectionBanner(
       "A1 — billing granularity: per-second (paper's idealization) vs "

@@ -4,9 +4,10 @@
 // compute-discount provider shifts the Question-1 sweet spot.
 #include "common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
+  const int jobs = bench::parseJobs(argc, argv);
 
   std::cout << sectionBanner(
       "A3 — data-mode ranking under different fee structures, Montage 1 "
@@ -14,7 +15,7 @@ int main(int, char**) {
   Table t({"provider", "mode", "storage $", "transfer $", "DM $", "rank"});
   for (const cloud::Pricing& pricing :
        {cloud::Pricing::amazon2008(), cloud::Pricing::storageHeavyProvider()}) {
-    const auto rows = analysis::dataModeComparison(wf, pricing);
+    const auto rows = analysis::dataModeComparison(wf, pricing, {.jobs = jobs});
     // Rank by DM cost.
     std::vector<std::size_t> order = {0, 1, 2};
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -42,9 +43,11 @@ int main(int, char**) {
   std::cout << sectionBanner(
       "A3 — provisioning sweet spot under a compute-discount provider");
   const auto amazonPts = analysis::provisioningSweep(
-      wf, {1, 8, 64}, cloud::Pricing::amazon2008());
+      wf, cloud::Pricing::amazon2008(),
+      {.processorCounts = {1, 8, 64}, .jobs = jobs});
   const auto discountPts = analysis::provisioningSweep(
-      wf, {1, 8, 64}, cloud::Pricing::computeDiscountProvider());
+      wf, cloud::Pricing::computeDiscountProvider(),
+      {.processorCounts = {1, 8, 64}, .jobs = jobs});
   Table t2({"procs", "amazon-2008 total", "compute-discount total"});
   for (std::size_t i = 0; i < amazonPts.size(); ++i) {
     t2.addRow({std::to_string(amazonPts[i].processors),

@@ -20,7 +20,8 @@ int main(int, char**) {
       engine::EngineConfig cfg;
       cfg.vmStartupSeconds = overheadMin * 60.0 / 2.0;
       cfg.vmTeardownSeconds = overheadMin * 60.0 / 2.0;
-      const auto pts = analysis::provisioningSweep(wf, {procs}, amazon, cfg);
+      const auto pts = analysis::provisioningSweep(
+          wf, amazon, {.processorCounts = {procs}, .base = cfg});
       if (overheadMin == 0.0) base = pts[0].totalCost;
       char delta[32];
       std::snprintf(delta, sizeof delta, "+%.1f%%",

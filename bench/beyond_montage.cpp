@@ -8,9 +8,10 @@
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/workflows/gallery.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const int jobs = bench::parseJobs(argc, argv);
 
   std::cout << sectionBanner(
       "Workflow gallery — structure and CCR (B = 10 Mbps)");
@@ -31,7 +32,8 @@ int main(int, char**) {
       "Data-mode economics per workflow (usage billing, full parallelism)");
   Table t({"workflow", "mode", "storage GB-h", "DM $", "cpu $", "total $"});
   for (const dag::Workflow& wf : gallery) {
-    for (const auto& row : analysis::dataModeComparison(wf, amazon)) {
+    for (const auto& row :
+         analysis::dataModeComparison(wf, amazon, {.jobs = jobs})) {
       char gbh[32];
       std::snprintf(gbh, sizeof gbh, "%.3f", row.storageGBHours);
       t.addRow({wf.name(), engine::dataModeName(row.mode), gbh,

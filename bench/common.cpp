@@ -18,10 +18,10 @@ std::string num(double v) {
 
 void printProvisioningFigure(const std::string& figureId, double degrees,
                              const std::vector<analysis::PaperAnchor>& anchors,
-                             bool csv) {
+                             bool csv, int jobs) {
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
   const auto points = analysis::provisioningSweep(
-      wf, analysis::defaultProcessorLadder(), kAmazon);
+      wf, kAmazon, {.jobs = jobs});
 
   std::cout << sectionBanner(figureId + " — " + wf.name() +
                              ": execution cost and time vs provisioned "
@@ -44,9 +44,9 @@ void printProvisioningFigure(const std::string& figureId, double degrees,
 }
 
 void printDataModeFigure(const std::string& figureId, double degrees,
-                         bool csv) {
+                         bool csv, int jobs) {
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const auto rows = analysis::dataModeComparison(wf, kAmazon);
+  const auto rows = analysis::dataModeComparison(wf, kAmazon, {.jobs = jobs});
 
   std::cout << sectionBanner(
       figureId + " — " + wf.name() +

@@ -12,6 +12,7 @@
 #include "mcsim/analysis/experiments.hpp"
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/montage/factory.hpp"
+#include "mcsim/runner/runner.hpp"
 
 namespace mcsim::bench {
 
@@ -21,13 +22,21 @@ inline bool wantCsv(int argc, char** argv) {
   return false;
 }
 
+/// `--jobs N` from argv: runner worker threads for the sweeps a bench
+/// drives.  Default all hardware threads; 0 = serial legacy code path.
+inline int parseJobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--jobs") return std::stoi(argv[i + 1]);
+  return runner::defaultJobs();
+}
+
 /// Print the Question-1 provisioning figure (Figs 4/5/6) for one preset.
 void printProvisioningFigure(const std::string& figureId, double degrees,
                              const std::vector<analysis::PaperAnchor>& anchors,
-                             bool csv);
+                             bool csv, int jobs = 0);
 
 /// Print the data-management figure (Figs 7/8/9) for one preset.
 void printDataModeFigure(const std::string& figureId, double degrees,
-                         bool csv);
+                         bool csv, int jobs = 0);
 
 }  // namespace mcsim::bench

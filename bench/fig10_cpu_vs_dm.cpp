@@ -2,13 +2,15 @@
 // for all three Montage workflows under each execution mode.
 #include "common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const int jobs = bench::parseJobs(argc, argv);
   std::vector<analysis::CpuVsDmRow> rows;
   for (double deg : {1.0, 2.0, 4.0}) {
     const dag::Workflow wf = montage::buildMontageWorkflow(deg);
-    for (const auto& m : analysis::dataModeComparison(wf, amazon)) {
+    for (const auto& m :
+         analysis::dataModeComparison(wf, amazon, {.jobs = jobs})) {
       analysis::CpuVsDmRow row;
       row.workflow = wf.name();
       row.mode = m.mode;

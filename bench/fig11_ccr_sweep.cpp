@@ -10,8 +10,10 @@ int main(int argc, char** argv) {
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
   const std::vector<double> ccrs = {0.053, 0.1, 0.2, 0.4, 0.8,
                                     1.6,   3.2, 6.4, 12.8};
-  const auto points =
-      analysis::ccrSweep(wf, ccrs, 8, cloud::Pricing::amazon2008());
+  const auto points = analysis::ccrSweep(
+      wf, cloud::Pricing::amazon2008(),
+      {.ccrTargets = ccrs, .processors = 8,
+       .jobs = bench::parseJobs(argc, argv)});
   std::cout << sectionBanner(
       "Fig 11 — Montage 1-degree execution costs vs CCR (8 processors; "
       "file sizes scaled by CCRd/CCRr as in the paper)");

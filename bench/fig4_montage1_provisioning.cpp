@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
       "Fig 4", 1.0,
       {{1, "paper: ~$0.60 total, 5.5 h"},
        {128, "paper: almost $4, 18 min"}},
-      bench::wantCsv(argc, argv));
+      bench::wantCsv(argc, argv), bench::parseJobs(argc, argv));
   return 0;
 }

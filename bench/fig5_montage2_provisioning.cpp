@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
       "Fig 5", 2.0,
       {{1, "paper: $2.25 total, 20.5 h"},
        {128, "paper: <$8, <40 min"}},
-      bench::wantCsv(argc, argv));
+      bench::wantCsv(argc, argv), bench::parseJobs(argc, argv));
   return 0;
 }

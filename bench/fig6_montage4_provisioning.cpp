@@ -6,19 +6,21 @@
 int main(int argc, char** argv) {
   using namespace mcsim;
   const bool csv = bench::wantCsv(argc, argv);
+  const int jobs = bench::parseJobs(argc, argv);
   bench::printProvisioningFigure(
       "Fig 6", 4.0,
       {{1, "paper: ~$9 total, 85 h"},
        {16, "paper: $9.25, ~5.5 h"},
        {128, "paper: ~$14, ~1 h"}},
-      csv);
+      csv, jobs);
 
   // "providing 500 4-degree square mosaics to astronomers would cost $4,500
   // using 1 processor versus $7,000 using 128 processors ... 16 processors
   // ... a total cost of 500 mosaics would be $4,625."
   const dag::Workflow wf = montage::buildMontageWorkflow(4.0);
   const auto points = analysis::provisioningSweep(
-      wf, {1, 16, 128}, cloud::Pricing::amazon2008());
+      wf, cloud::Pricing::amazon2008(),
+      {.processorCounts = {1, 16, 128}, .jobs = jobs});
   std::cout << sectionBanner(
       "Q1 service — 500 four-degree mosaics at fixed provisioning");
   Table t({"procs", "per-mosaic", "turnaround", "500 mosaics",

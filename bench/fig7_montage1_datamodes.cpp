@@ -4,6 +4,7 @@
 
 int main(int argc, char** argv) {
   mcsim::bench::printDataModeFigure("Fig 7", 1.0,
-                                    mcsim::bench::wantCsv(argc, argv));
+                                    mcsim::bench::wantCsv(argc, argv),
+                                    mcsim::bench::parseJobs(argc, argv));
   return 0;
 }

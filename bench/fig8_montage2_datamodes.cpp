@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   mcsim::bench::printDataModeFigure("Fig 8", 2.0,
-                                    mcsim::bench::wantCsv(argc, argv));
+                                    mcsim::bench::wantCsv(argc, argv),
+                                    mcsim::bench::parseJobs(argc, argv));
   return 0;
 }

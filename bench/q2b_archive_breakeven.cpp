@@ -4,11 +4,12 @@
 // mosaic, 18,000 mosaics/month break-even, $1,200 initial upload).
 #include "common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
   const dag::Workflow wf = montage::buildMontageWorkflow(2.0);
-  const auto rows = analysis::dataModeComparison(wf, amazon);
+  const auto rows = analysis::dataModeComparison(
+      wf, amazon, {.jobs = bench::parseJobs(argc, argv)});
   const auto& regular = rows[1];
 
   const Money onDemand = regular.totalCost();

@@ -4,13 +4,14 @@
 // 24.25 / 25.12 months).
 #include "common.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace mcsim;
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const int jobs = bench::parseJobs(argc, argv);
 
   // -- whole-sky campaign -----------------------------------------------------
   const dag::Workflow wf4 = montage::buildMontageWorkflow(4.0);
-  const auto rows4 = analysis::dataModeComparison(wf4, amazon);
+  const auto rows4 = analysis::dataModeComparison(wf4, amazon, {.jobs = jobs});
   const Money onDemand = rows4[1].totalCost();
   const Money preStaged = onDemand - rows4[1].transferInCost;
   // 3,900 plates falls out of the sky tiling at the paper's overlap.
@@ -40,7 +41,7 @@ int main(int, char**) {
   for (double deg : {1.0, 2.0, 4.0}) {
     const auto params = montage::paramsForDegrees(deg);
     const dag::Workflow wf = montage::buildMontageWorkflow(params);
-    const auto rows = analysis::dataModeComparison(wf, amazon);
+    const auto rows = analysis::dataModeComparison(wf, amazon, {.jobs = jobs});
     decisions.push_back(analysis::mosaicArchivalDecision(
         rows[1].cpuCost, params.mosaicBytes, amazon));
     labels.push_back(wf.name());

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
 
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
   std::cout << sectionBanner("data-management mode comparison (paper §6 Q2a)");
-  analysis::dataModeTable(analysis::dataModeComparison(wf, amazon))
+  analysis::dataModeTable(
+      analysis::dataModeComparison(wf, amazon, analysis::DataModeComparisonConfig{}))
       .print(std::cout);
 
   // Trace a cleanup-mode run and show where the time goes.

@@ -6,6 +6,14 @@
 //   * dataModeComparison     — Figs 7, 8, 9 (Question 2a)
 //   * cpuVsDataManagement    — Fig 10
 //   * ccrSweep               — Fig 11 (+ the CCR table via Workflow::ccr)
+//
+// Every sweep takes one designated-initializer-friendly config struct (the
+// shape ReliabilityConfig established) and runs its scenarios through
+// mcsim::runner, so `jobs` worker threads and a merged telemetry `observer`
+// are available everywhere without another signature change.  `jobs == 0`
+// is the serial legacy code path; any jobs value produces byte-identical
+// points (see DESIGN.md "Concurrency model").  The old positional
+// signatures survive as [[deprecated]] inline wrappers.
 #pragma once
 
 #include <vector>
@@ -31,15 +39,40 @@ struct ProvisioningPoint {
   double utilization = 0.0;
 };
 
-/// Run the sweep for each processor count in `processorCounts`.
-/// `base` supplies every configuration knob except mode and processors.
-std::vector<ProvisioningPoint> provisioningSweep(
-    const dag::Workflow& wf, const std::vector<int>& processorCounts,
-    const cloud::Pricing& pricing, engine::EngineConfig base = {},
-    cloud::BillingGranularity granularity = cloud::BillingGranularity::PerSecond);
-
 /// The paper's geometric progression 1..128.
 std::vector<int> defaultProcessorLadder();
+
+struct ProvisioningSweepConfig {
+  /// Processor counts to sweep; empty = defaultProcessorLadder().
+  std::vector<int> processorCounts;
+  /// Every engine knob except mode and processors.
+  engine::EngineConfig base;
+  cloud::BillingGranularity granularity = cloud::BillingGranularity::PerSecond;
+  /// Runner worker threads; 0 = serial (the exact legacy code path).
+  int jobs = 0;
+  /// Observes every scenario; streams merge deterministically in sweep
+  /// order regardless of jobs.  Borrowed; may be nullptr.
+  obs::Sink* observer = nullptr;
+};
+
+/// Run the Question-1 sweep described by `config`.
+std::vector<ProvisioningPoint> provisioningSweep(
+    const dag::Workflow& wf, const cloud::Pricing& pricing,
+    const ProvisioningSweepConfig& config = {});
+
+/// \deprecated Positional form; use the ProvisioningSweepConfig overload.
+[[deprecated("use provisioningSweep(wf, pricing, ProvisioningSweepConfig)")]]
+inline std::vector<ProvisioningPoint> provisioningSweep(
+    const dag::Workflow& wf, const std::vector<int>& processorCounts,
+    const cloud::Pricing& pricing, engine::EngineConfig base = {},
+    cloud::BillingGranularity granularity =
+        cloud::BillingGranularity::PerSecond) {
+  ProvisioningSweepConfig config;
+  config.processorCounts = processorCounts;
+  config.base = base;
+  config.granularity = granularity;
+  return provisioningSweep(wf, pricing, config);
+}
 
 /// One Question-2a row: metrics of a single data-management mode with
 /// resources billed by usage and enough processors for full parallelism.
@@ -60,13 +93,35 @@ struct DataModeMetrics {
   Money totalCost() const { return dataManagementCost() + cpuCost; }
 };
 
-/// Run all three modes (RemoteIO, Regular, DynamicCleanup, in that order)
-/// at full parallelism.  `processorOverride` > 0 forces a processor count;
-/// otherwise the workflow's max parallelism is used ("the requests can run
-/// at their full level of parallelism", §4 Question 2).
+struct DataModeComparisonConfig {
+  /// Every engine knob except mode and processors.
+  engine::EngineConfig base;
+  /// > 0 forces a processor count; 0 = the workflow's max parallelism
+  /// ("the requests can run at their full level of parallelism", §4 Q2).
+  int processorOverride = 0;
+  /// Runner worker threads; 0 = serial (the exact legacy code path).
+  int jobs = 0;
+  obs::Sink* observer = nullptr;
+};
+
+/// Run all three modes (RemoteIO, Regular, DynamicCleanup, in that order).
+/// No default argument: a defaulted config would make 2-argument calls
+/// ambiguous against the deprecated positional overload below.
 std::vector<DataModeMetrics> dataModeComparison(
     const dag::Workflow& wf, const cloud::Pricing& pricing,
-    engine::EngineConfig base = {}, int processorOverride = 0);
+    const DataModeComparisonConfig& config);
+
+/// \deprecated Positional form; use the DataModeComparisonConfig overload.
+[[deprecated(
+    "use dataModeComparison(wf, pricing, DataModeComparisonConfig)")]]
+inline std::vector<DataModeMetrics> dataModeComparison(
+    const dag::Workflow& wf, const cloud::Pricing& pricing,
+    engine::EngineConfig base = {}, int processorOverride = 0) {
+  DataModeComparisonConfig config;
+  config.base = base;
+  config.processorOverride = processorOverride;
+  return dataModeComparison(wf, pricing, config);
+}
 
 /// One Fig-11 point: the 1-degree workflow rescaled to `ccr`, run on a
 /// fixed provisioned processor count (the paper uses 8).
@@ -80,9 +135,32 @@ struct CcrPoint {
   Money totalCost;           ///< CPU + transfer + storage without cleanup.
 };
 
+struct CcrSweepConfig {
+  std::vector<double> ccrTargets;
+  int processors = 8;  ///< Provisioned count; the paper's compromise.
+  /// Every engine knob except mode and processors.
+  engine::EngineConfig base;
+  /// Runner worker threads; 0 = serial (the exact legacy code path).
+  int jobs = 0;
+  obs::Sink* observer = nullptr;
+};
+
 std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
-                               const std::vector<double>& ccrTargets,
-                               int processors, const cloud::Pricing& pricing,
-                               engine::EngineConfig base = {});
+                               const cloud::Pricing& pricing,
+                               const CcrSweepConfig& config);
+
+/// \deprecated Positional form; use the CcrSweepConfig overload.
+[[deprecated("use ccrSweep(wf, pricing, CcrSweepConfig)")]]
+inline std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
+                                      const std::vector<double>& ccrTargets,
+                                      int processors,
+                                      const cloud::Pricing& pricing,
+                                      engine::EngineConfig base = {}) {
+  CcrSweepConfig config;
+  config.ccrTargets = ccrTargets;
+  config.processors = processors;
+  config.base = base;
+  return ccrSweep(wf, pricing, config);
+}
 
 }  // namespace mcsim::analysis

@@ -27,10 +27,8 @@ std::vector<ProvisioningPoint> paretoFrontier(
 Recommendation recommendProvisioning(const dag::Workflow& wf,
                                      const cloud::Pricing& pricing,
                                      const PlannerGoal& goal,
-                                     std::vector<int> processorCounts,
-                                     engine::EngineConfig base) {
-  if (processorCounts.empty()) processorCounts = defaultProcessorLadder();
-  const auto points = provisioningSweep(wf, processorCounts, pricing, base);
+                                     const ProvisioningSweepConfig& sweep) {
+  const auto points = provisioningSweep(wf, pricing, sweep);
 
   Recommendation rec;
   rec.frontier = paretoFrontier(points);

@@ -1,24 +1,25 @@
 #include "mcsim/analysis/reliability.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/metrics.hpp"
+#include "mcsim/runner/runner.hpp"
 
 namespace mcsim::analysis {
 namespace {
 
-ReliabilityPoint runPoint(const dag::Workflow& wf,
-                          const cloud::Pricing& pricing,
-                          const engine::EngineConfig& cfg, double mtbf) {
-  const engine::ExecutionResult r = engine::simulateWorkflow(wf, cfg);
+ReliabilityPoint toPoint(const engine::ExecutionResult& r,
+                         const cloud::Pricing& pricing, double mtbf) {
   const cloud::CostBreakdown cost =
       engine::computeCost(r, pricing, cloud::CpuBillingMode::Usage);
 
   ReliabilityPoint pt;
-  pt.mode = cfg.mode;
+  pt.mode = r.mode;
   pt.mtbfSeconds = mtbf;
   pt.makespanSeconds = r.makespanSeconds;
   pt.processorCrashes = r.processorCrashes;
@@ -36,10 +37,9 @@ ReliabilityPoint runPoint(const dag::Workflow& wf,
 
 }  // namespace
 
-std::vector<ReliabilityPoint> reliabilitySweep(const dag::Workflow& wf,
-                                               const cloud::Pricing& pricing,
-                                               const ReliabilityConfig& config,
-                                               engine::EngineConfig base) {
+std::vector<ReliabilityPoint> reliabilitySweep(
+    const dag::Workflow& wf, const cloud::Pricing& pricing,
+    const ReliabilityConfig& config) {
   for (double mtbf : config.mtbfSeconds)
     if (mtbf <= 0.0)
       throw std::invalid_argument("reliabilitySweep: MTBF must be positive");
@@ -50,27 +50,53 @@ std::vector<ReliabilityPoint> reliabilitySweep(const dag::Workflow& wf,
           ? config.processorOverride
           : static_cast<int>(std::max<std::size_t>(1, dag::maxParallelism(wf)));
 
-  std::vector<ReliabilityPoint> points;
-  points.reserve(3 * (config.mtbfSeconds.size() + 1));
+  // Scenario order mirrors the legacy nested loops: per mode, the fault-free
+  // baseline first (the denominator of every overhead figure), then one
+  // scenario per MTBF.
+  std::vector<runner::ScenarioSpec> specs;
+  specs.reserve(3 * (config.mtbfSeconds.size() + 1));
   for (engine::DataMode mode :
        {engine::DataMode::RemoteIO, engine::DataMode::Regular,
         engine::DataMode::DynamicCleanup}) {
-    engine::EngineConfig cfg = base;
-    cfg.mode = mode;
-    cfg.processors = processors;
+    runner::ScenarioSpec spec;
+    spec.workflow = &wf;
+    spec.config = config.base;
+    spec.config.mode = mode;
+    spec.config.processors = processors;
 
-    // Fault-free baseline: the denominator for every overhead figure.
-    cfg.faults = {};
-    ReliabilityPoint baseline = runPoint(wf, pricing, cfg, 0.0);
+    spec.config.faults = {};
+    spec.label = std::string("reliability/") + engine::dataModeName(mode) +
+                 "/baseline";
+    specs.push_back(spec);
+
+    for (double mtbf : config.mtbfSeconds) {
+      spec.config.faults = config.base.faults;
+      spec.config.faults.processor.mtbfSeconds = mtbf;
+      spec.config.faults.retry = config.retry;
+      spec.config.faults.seed = config.faultSeed;
+      spec.label = std::string("reliability/") + engine::dataModeName(mode) +
+                   "/mtbf=" + std::to_string(mtbf);
+      specs.push_back(spec);
+    }
+  }
+
+  runner::RunnerOptions options;
+  options.jobs = config.jobs;
+  options.observer = config.observer;
+  const auto results = runner::runScenarios(specs, options);
+
+  const std::size_t perMode = config.mtbfSeconds.size() + 1;
+  std::vector<ReliabilityPoint> points;
+  points.reserve(results.size());
+  for (std::size_t m = 0; m < 3; ++m) {
+    ReliabilityPoint baseline =
+        toPoint(results[m * perMode].result, pricing, 0.0);
     baseline.faultFreeTotal = baseline.totalCost;
     points.push_back(baseline);
 
-    for (double mtbf : config.mtbfSeconds) {
-      cfg.faults = base.faults;
-      cfg.faults.processor.mtbfSeconds = mtbf;
-      cfg.faults.retry = config.retry;
-      cfg.faults.seed = config.faultSeed;
-      ReliabilityPoint pt = runPoint(wf, pricing, cfg, mtbf);
+    for (std::size_t j = 0; j < config.mtbfSeconds.size(); ++j) {
+      ReliabilityPoint pt = toPoint(results[m * perMode + 1 + j].result,
+                                    pricing, config.mtbfSeconds[j]);
       pt.faultFreeTotal = baseline.totalCost;
       points.push_back(pt);
     }

@@ -33,6 +33,13 @@ struct ReliabilityConfig {
   std::uint64_t faultSeed = 1;
   /// 0 = the workflow's max parallelism (as dataModeComparison).
   int processorOverride = 0;
+  /// Every engine knob except mode, processors and faults.
+  engine::EngineConfig base;
+  /// Runner worker threads; 0 = serial (the exact legacy code path).
+  int jobs = 0;
+  /// Observes every scenario; streams merge deterministically in sweep
+  /// order regardless of jobs.  Borrowed; may be nullptr.
+  obs::Sink* observer = nullptr;
 };
 
 /// One (mode, MTBF) point.  mtbfSeconds == 0 marks the fault-free baseline.
@@ -63,11 +70,22 @@ struct ReliabilityPoint {
 
 /// Run the sweep: for each of the three modes (RemoteIO, Regular,
 /// DynamicCleanup, in that order), one fault-free baseline row followed by
-/// one row per MTBF in `config.mtbfSeconds`.  `base` supplies every engine
-/// knob except mode, processors and faults.
+/// one row per MTBF in `config.mtbfSeconds`.  All knobs — including the
+/// base engine config, runner `jobs` and telemetry `observer` — live on
+/// the config struct.
 std::vector<ReliabilityPoint> reliabilitySweep(
     const dag::Workflow& wf, const cloud::Pricing& pricing,
-    const ReliabilityConfig& config, engine::EngineConfig base = {});
+    const ReliabilityConfig& config);
+
+/// \deprecated Positional base; set ReliabilityConfig::base instead.
+[[deprecated("set ReliabilityConfig::base instead of passing it alongside")]]
+inline std::vector<ReliabilityPoint> reliabilitySweep(
+    const dag::Workflow& wf, const cloud::Pricing& pricing,
+    const ReliabilityConfig& config, engine::EngineConfig base) {
+  ReliabilityConfig merged = config;
+  merged.base = base;
+  return reliabilitySweep(wf, pricing, merged);
+}
 
 Table reliabilityTable(const std::vector<ReliabilityPoint>& points);
 

@@ -12,7 +12,7 @@ namespace mcsim::analysis {
 RequestProfile profileFromWorkflow(const dag::Workflow& wf,
                                    Bytes productBytes,
                                    const cloud::Pricing& pricing) {
-  const auto rows = dataModeComparison(wf, pricing);
+  const auto rows = dataModeComparison(wf, pricing, DataModeComparisonConfig{});
   const DataModeMetrics& regular = rows[1];
   RequestProfile p;
   p.name = wf.name();

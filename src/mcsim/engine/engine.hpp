@@ -98,6 +98,11 @@ struct EngineConfig {
 
 /// Simulate one execution of `workflow` (must be finalized) and return its
 /// metrics.  Deterministic: identical inputs give identical results.
+///
+/// Re-entrant: the engine touches no global state, so concurrent calls are
+/// safe as long as each call has its own `config.observer` (or none) — the
+/// contract mcsim::runner relies on to parallelize whole scenarios while
+/// each event loop stays single-threaded.
 ExecutionResult simulateWorkflow(const dag::Workflow& workflow,
                                  const EngineConfig& config);
 

@@ -78,6 +78,12 @@ bool FanOutSink::accepts(EventKind kind) const {
   return false;
 }
 
+void CollectingSink::onEvent(const Event& event) { events_.push_back(event); }
+
+std::vector<Event> CollectingSink::take() {
+  return std::exchange(events_, {});
+}
+
 RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0)
     throw std::invalid_argument("RingBufferSink: capacity must be positive");

@@ -52,6 +52,23 @@ class FanOutSink final : public Sink {
   std::vector<Sink*> sinks_;
 };
 
+/// Appends every event to an unbounded in-memory vector — the runner's
+/// per-scenario capture buffer (replayed into the shared observer at join)
+/// and a convenient test double.  Prefer RingBufferSink when only the tail
+/// of a long run matters.
+class CollectingSink final : public Sink {
+ public:
+  void onEvent(const Event& event) override;
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+  /// Move the buffer out, leaving the sink empty.
+  std::vector<Event> take();
+
+ private:
+  std::vector<Event> events_;
+};
+
 /// Keeps the most recent `capacity` events in memory — the flight recorder
 /// for tests and post-mortem inspection of a run's tail.
 class RingBufferSink final : public Sink {

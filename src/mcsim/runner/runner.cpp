@@ -1,0 +1,148 @@
+#include "mcsim/runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/obs/sink.hpp"
+
+namespace mcsim::runner {
+namespace {
+
+void validate(const std::vector<ScenarioSpec>& specs,
+              const RunnerOptions& options) {
+  if (options.jobs < 0)
+    throw std::invalid_argument("Runner: jobs must be >= 0");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].workflow == nullptr)
+      throw std::invalid_argument("Runner: scenario " + std::to_string(i) +
+                                  " has no workflow");
+    if (specs[i].config.observer != nullptr)
+      throw std::invalid_argument(
+          "Runner: scenario " + std::to_string(i) +
+          " sets config.observer; per-scenario observation is managed by "
+          "the Runner (use RunnerOptions::observer)");
+  }
+}
+
+/// Execute scenario `i` into `out`, capturing its events when asked.
+void runOne(const ScenarioSpec& spec, std::size_t i,
+            const RunnerOptions& options, bool capture, ScenarioResult& out) {
+  out.index = i;
+  out.label = spec.label;
+  engine::EngineConfig cfg = spec.config;
+  if (options.baseSeed != 0)
+    cfg.faults.seed = deriveSeed(options.baseSeed, i);
+  obs::CollectingSink collector;
+  cfg.observer = capture ? &collector : nullptr;
+  out.result = engine::simulateWorkflow(*spec.workflow, cfg);
+  out.events = collector.take();
+}
+
+/// Replay per-scenario streams into the shared observer in index order —
+/// byte-identical to what a serial instrumented sweep would have emitted —
+/// then drop the buffers unless the caller asked to keep them.
+void mergeEvents(std::vector<ScenarioResult>& results,
+                 const RunnerOptions& options) {
+  for (ScenarioResult& r : results) {
+    if (options.observer != nullptr)
+      for (const obs::Event& e : r.events) options.observer->onEvent(e);
+    if (!options.keepEvents) {
+      r.events.clear();
+      r.events.shrink_to_fit();
+    }
+  }
+}
+
+}  // namespace
+
+int defaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::uint64_t deriveSeed(std::uint64_t baseSeed,
+                         std::uint64_t scenarioIndex) {
+  // splitmix64 over the (seed, index) pair; the +1 keeps index 0 from
+  // collapsing into the raw base seed.
+  std::uint64_t z = baseSeed + 0x9e3779b97f4a7c15ull * (scenarioIndex + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<ScenarioResult> Runner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  validate(specs, options_);
+  const std::size_t n = specs.size();
+  const bool capture = options_.observer != nullptr || options_.keepEvents;
+  std::vector<ScenarioResult> results(n);
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          n, static_cast<std::size_t>(options_.jobs)));
+  if (workers <= 1) {
+    // jobs == 0 (or a degenerate batch): the exact legacy code path — run
+    // in the caller's thread, in spec order, merging each scenario's events
+    // as it completes so failures propagate at the same point they would
+    // have in the old serial sweeps.
+    for (std::size_t i = 0; i < n; ++i) {
+      runOne(specs[i], i, options_, capture, results[i]);
+      if (options_.observer != nullptr)
+        for (const obs::Event& e : results[i].events)
+          options_.observer->onEvent(e);
+      if (!options_.keepEvents) {
+        results[i].events.clear();
+        results[i].events.shrink_to_fit();
+      }
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex errorMutex;
+  std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  auto worker = [&]() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        runOne(specs[i], i, options_, capture, results[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        // Keep the lowest-index failure so the error a caller sees does not
+        // depend on worker scheduling when several scenarios are doomed.
+        if (i < errorIndex) {
+          errorIndex = i;
+          error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+  mergeEvents(results, options_);
+  return results;
+}
+
+std::vector<ScenarioResult> runScenarios(const std::vector<ScenarioSpec>& specs,
+                                         const RunnerOptions& options) {
+  return Runner(options).run(specs);
+}
+
+}  // namespace mcsim::runner

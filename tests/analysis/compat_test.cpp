@@ -1,0 +1,95 @@
+// Compatibility coverage for the deprecated positional sweep signatures:
+// each wrapper must keep returning exactly what the config-struct overload
+// returns until the wrappers are removed.  This file is the one place that
+// intentionally calls them, so the deprecation warnings are silenced here.
+#include <gtest/gtest.h>
+
+#include "mcsim/analysis/experiments.hpp"
+#include "mcsim/analysis/planner.hpp"
+#include "mcsim/analysis/reliability.hpp"
+#include "mcsim/montage/factory.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace mcsim::analysis {
+namespace {
+
+const cloud::Pricing kAmazon = cloud::Pricing::amazon2008();
+
+TEST(DeprecatedWrappers, ProvisioningSweepMatchesConfigOverload) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(0.4);
+  const auto legacy = provisioningSweep(wf, {1, 4}, kAmazon, {},
+                                        cloud::BillingGranularity::PerHour);
+  const auto current = provisioningSweep(
+      wf, kAmazon,
+      {.processorCounts = {1, 4},
+       .granularity = cloud::BillingGranularity::PerHour});
+  ASSERT_EQ(legacy.size(), current.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].processors, current[i].processors);
+    EXPECT_EQ(legacy[i].makespanSeconds, current[i].makespanSeconds);
+    EXPECT_EQ(legacy[i].totalCost.value(), current[i].totalCost.value());
+  }
+}
+
+TEST(DeprecatedWrappers, DataModeComparisonMatchesConfigOverload) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(0.4);
+  const auto legacy = dataModeComparison(wf, kAmazon, {}, 4);
+  const auto current =
+      dataModeComparison(wf, kAmazon, {.processorOverride = 4});
+  ASSERT_EQ(legacy.size(), current.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].mode, current[i].mode);
+    EXPECT_EQ(legacy[i].makespanSeconds, current[i].makespanSeconds);
+    EXPECT_EQ(legacy[i].totalCost().value(), current[i].totalCost().value());
+  }
+}
+
+TEST(DeprecatedWrappers, CcrSweepMatchesConfigOverload) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(0.4);
+  const auto legacy = ccrSweep(wf, {0.2, 1.0}, 4, kAmazon);
+  const auto current =
+      ccrSweep(wf, kAmazon, {.ccrTargets = {0.2, 1.0}, .processors = 4});
+  ASSERT_EQ(legacy.size(), current.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].ccr, current[i].ccr);
+    EXPECT_EQ(legacy[i].makespanSeconds, current[i].makespanSeconds);
+    EXPECT_EQ(legacy[i].totalCost.value(), current[i].totalCost.value());
+  }
+}
+
+TEST(DeprecatedWrappers, ReliabilitySweepMatchesConfigOverload) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(0.4);
+  ReliabilityConfig rc;
+  rc.mtbfSeconds = {600.0};
+
+  engine::EngineConfig base;
+  base.linkBandwidthBytesPerSec = 2e6;
+  const auto legacy = reliabilitySweep(wf, kAmazon, rc, base);
+
+  ReliabilityConfig merged = rc;
+  merged.base = base;
+  const auto current = reliabilitySweep(wf, kAmazon, merged);
+  ASSERT_EQ(legacy.size(), current.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].makespanSeconds, current[i].makespanSeconds);
+    EXPECT_EQ(legacy[i].totalCost.value(), current[i].totalCost.value());
+  }
+}
+
+TEST(DeprecatedWrappers, RecommendProvisioningMatchesConfigOverload) {
+  const dag::Workflow wf = montage::buildMontageWorkflow(0.4);
+  const auto legacy =
+      recommendProvisioning(wf, kAmazon, PlannerGoal{}, {1, 4});
+  const auto current = recommendProvisioning(
+      wf, kAmazon, PlannerGoal{},
+      ProvisioningSweepConfig{.processorCounts = {1, 4}});
+  EXPECT_EQ(legacy.feasible, current.feasible);
+  EXPECT_EQ(legacy.choice.processors, current.choice.processors);
+  EXPECT_EQ(legacy.rationale, current.rationale);
+}
+
+}  // namespace
+}  // namespace mcsim::analysis

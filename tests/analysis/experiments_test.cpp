@@ -23,8 +23,8 @@ TEST(DefaultLadder, GeometricOneTo128) {
 
 TEST(ProvisioningSweep, OnePointPerProcessorCount) {
   const auto fig = test::makeFigure3Workflow();
-  const auto points =
-      provisioningSweep(fig.wf, {1, 2, 4}, kAmazon, fastLink());
+  const auto points = provisioningSweep(
+      fig.wf, kAmazon, {.processorCounts = {1, 2, 4}, .base = fastLink()});
   ASSERT_EQ(points.size(), 3u);
   EXPECT_EQ(points[0].processors, 1);
   EXPECT_EQ(points[2].processors, 4);
@@ -32,7 +32,8 @@ TEST(ProvisioningSweep, OnePointPerProcessorCount) {
 
 TEST(ProvisioningSweep, CostsDecomposeAndTotalIsPapersDefinition) {
   const auto fig = test::makeFigure3Workflow();
-  const auto points = provisioningSweep(fig.wf, {2}, kAmazon, fastLink());
+  const auto points = provisioningSweep(
+      fig.wf, kAmazon, {.processorCounts = {2}, .base = fastLink()});
   const ProvisioningPoint& p = points[0];
   EXPECT_NEAR(p.totalCost.value(),
               (p.cpuCost + p.storageCost + p.transferCost).value(), 1e-12);
@@ -42,7 +43,8 @@ TEST(ProvisioningSweep, CostsDecomposeAndTotalIsPapersDefinition) {
 
 TEST(ProvisioningSweep, CpuCostIsProcessorsTimesMakespan) {
   const auto fig = test::makeFigure3Workflow();
-  const auto points = provisioningSweep(fig.wf, {1, 4}, kAmazon, fastLink());
+  const auto points = provisioningSweep(
+      fig.wf, kAmazon, {.processorCounts = {1, 4}, .base = fastLink()});
   for (const ProvisioningPoint& p : points) {
     EXPECT_NEAR(p.cpuCost.value(),
                 p.processors * p.makespanSeconds * 0.10 / 3600.0, 1e-12);
@@ -53,7 +55,8 @@ TEST(ProvisioningSweep, TransferCostInvariantAcrossP) {
   // Paper Fig 4: "The data transfer costs are independent of the number of
   // processors provisioned."
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto points = provisioningSweep(wf, {1, 8, 64}, kAmazon);
+  const auto points =
+      provisioningSweep(wf, kAmazon, {.processorCounts = {1, 8, 64}});
   EXPECT_NEAR(points[0].transferCost.value(), points[1].transferCost.value(),
               1e-12);
   EXPECT_NEAR(points[1].transferCost.value(), points[2].transferCost.value(),
@@ -64,7 +67,8 @@ TEST(ProvisioningSweep, StorageDeclinesCpuRisesWithP) {
   // Paper Fig 4: "As the number of processors is increased, the storage
   // costs decline but the CPU costs increase."
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto points = provisioningSweep(wf, {1, 8, 64}, kAmazon);
+  const auto points =
+      provisioningSweep(wf, kAmazon, {.processorCounts = {1, 8, 64}});
   EXPECT_GT(points[0].storageCost, points[1].storageCost);
   EXPECT_GT(points[1].storageCost, points[2].storageCost);
   EXPECT_LT(points[0].cpuCost, points[1].cpuCost);
@@ -73,16 +77,20 @@ TEST(ProvisioningSweep, StorageDeclinesCpuRisesWithP) {
 
 TEST(ProvisioningSweep, HourlyGranularityNeverCheaper) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto perSecond = provisioningSweep(wf, {3}, kAmazon, {},
-                                           cloud::BillingGranularity::PerSecond);
-  const auto perHour = provisioningSweep(wf, {3}, kAmazon, {},
-                                         cloud::BillingGranularity::PerHour);
+  const auto perSecond = provisioningSweep(
+      wf, kAmazon,
+      {.processorCounts = {3},
+       .granularity = cloud::BillingGranularity::PerSecond});
+  const auto perHour = provisioningSweep(
+      wf, kAmazon,
+      {.processorCounts = {3},
+       .granularity = cloud::BillingGranularity::PerHour});
   EXPECT_GE(perHour[0].cpuCost, perSecond[0].cpuCost);
 }
 
 TEST(DataModeComparison, ThreeRowsInPaperOrder) {
   const auto fig = test::makeFigure3Workflow();
-  const auto rows = dataModeComparison(fig.wf, kAmazon, fastLink());
+  const auto rows = dataModeComparison(fig.wf, kAmazon, {.base = fastLink()});
   ASSERT_EQ(rows.size(), 3u);
   EXPECT_EQ(rows[0].mode, engine::DataMode::RemoteIO);
   EXPECT_EQ(rows[1].mode, engine::DataMode::Regular);
@@ -91,7 +99,7 @@ TEST(DataModeComparison, ThreeRowsInPaperOrder) {
 
 TEST(DataModeComparison, CpuCostInvariantAndUsageBilled) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto rows = dataModeComparison(wf, kAmazon);
+  const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
   // Usage billing: Σ runtimes x $0.1/h = $0.56 in every mode (Fig 10).
   for (const DataModeMetrics& r : rows)
     EXPECT_NEAR(r.cpuCost.value(), 0.56, 1e-9);
@@ -99,7 +107,7 @@ TEST(DataModeComparison, CpuCostInvariantAndUsageBilled) {
 
 TEST(DataModeComparison, MontageOrderings) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto rows = dataModeComparison(wf, kAmazon);
+  const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
   const auto& remote = rows[0];
   const auto& regular = rows[1];
   const auto& cleanup = rows[2];
@@ -115,15 +123,17 @@ TEST(DataModeComparison, MontageOrderings) {
 
 TEST(DataModeComparison, ProcessorOverrideRespected) {
   const auto fig = test::makeFigure3Workflow();
-  const auto rows = dataModeComparison(fig.wf, kAmazon, fastLink(), 2);
+  const auto rows = dataModeComparison(
+      fig.wf, kAmazon, {.base = fastLink(), .processorOverride = 2});
   // Regular-mode makespan with P=2 differs from full parallelism (P=3).
-  const auto wide = dataModeComparison(fig.wf, kAmazon, fastLink());
+  const auto wide = dataModeComparison(fig.wf, kAmazon, {.base = fastLink()});
   EXPECT_GT(rows[1].makespanSeconds, wide[1].makespanSeconds);
 }
 
 TEST(CcrSweep, HitsRequestedCcrs) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto points = ccrSweep(wf, {0.053, 0.5, 2.0}, 8, kAmazon);
+  const auto points =
+      ccrSweep(wf, kAmazon, {.ccrTargets = {0.053, 0.5, 2.0}});
   ASSERT_EQ(points.size(), 3u);
   EXPECT_DOUBLE_EQ(points[0].ccr, 0.053);
   EXPECT_DOUBLE_EQ(points[2].ccr, 2.0);
@@ -133,7 +143,8 @@ TEST(CcrSweep, EverythingRisesWithCcr) {
   // Paper Fig 11: storage, transfer, CPU (longer stage-in) and total all
   // increase with CCR.
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto points = ccrSweep(wf, {0.053, 0.5, 2.0, 8.0}, 8, kAmazon);
+  const auto points =
+      ccrSweep(wf, kAmazon, {.ccrTargets = {0.053, 0.5, 2.0, 8.0}});
   for (std::size_t i = 1; i < points.size(); ++i) {
     EXPECT_GT(points[i].storageCost, points[i - 1].storageCost) << i;
     EXPECT_GT(points[i].transferCost, points[i - 1].transferCost) << i;
@@ -145,20 +156,21 @@ TEST(CcrSweep, EverythingRisesWithCcr) {
 
 TEST(CcrSweep, CleanupStorageBelowRegular) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto points = ccrSweep(wf, {1.0}, 8, kAmazon);
+  const auto points = ccrSweep(wf, kAmazon, {.ccrTargets = {1.0}});
   EXPECT_LT(points[0].storageCleanupCost, points[0].storageCost);
 }
 
 TEST(CcrSweep, SourceWorkflowNotMutated) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   const double before = wf.ccr(montage::kReferenceBandwidthBytesPerSec);
-  ccrSweep(wf, {5.0}, 8, kAmazon);
+  ccrSweep(wf, kAmazon, {.ccrTargets = {5.0}});
   EXPECT_DOUBLE_EQ(wf.ccr(montage::kReferenceBandwidthBytesPerSec), before);
 }
 
 TEST(CcrSweep, InvalidProcessorsRejected) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  EXPECT_THROW(ccrSweep(wf, {1.0}, 0, kAmazon), std::invalid_argument);
+  EXPECT_THROW(ccrSweep(wf, kAmazon, {.ccrTargets = {1.0}, .processors = 0}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -12,7 +12,8 @@ const cloud::Pricing kAmazon = cloud::Pricing::amazon2008();
 TEST(Planner, UnconstrainedGoalPicksCheapest) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   const Recommendation rec =
-      recommendProvisioning(wf, kAmazon, PlannerGoal{}, {1, 8, 64});
+      recommendProvisioning(wf, kAmazon, PlannerGoal{},
+                            ProvisioningSweepConfig{.processorCounts = {1, 8, 64}});
   ASSERT_TRUE(rec.feasible);
   // Total cost rises with P (Question 1), so 1 processor is cheapest.
   EXPECT_EQ(rec.choice.processors, 1);
@@ -23,7 +24,8 @@ TEST(Planner, DeadlineForcesMoreProcessors) {
   PlannerGoal goal;
   goal.deadlineSeconds = 1.0 * kSecondsPerHour;  // serial needs ~5.7 h
   const Recommendation rec =
-      recommendProvisioning(wf, kAmazon, goal, {1, 8, 16, 64});
+      recommendProvisioning(wf, kAmazon, goal,
+                            ProvisioningSweepConfig{.processorCounts = {1, 8, 16, 64}});
   ASSERT_TRUE(rec.feasible);
   EXPECT_GT(rec.choice.processors, 1);
   EXPECT_LE(rec.choice.makespanSeconds, goal.deadlineSeconds);
@@ -36,7 +38,8 @@ TEST(Planner, ImpossibleDeadlineReportedInfeasible) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   PlannerGoal goal;
   goal.deadlineSeconds = 10.0;  // ten seconds: hopeless
-  const Recommendation rec = recommendProvisioning(wf, kAmazon, goal, {1, 8});
+  const Recommendation rec = recommendProvisioning(
+      wf, kAmazon, goal, ProvisioningSweepConfig{.processorCounts = {1, 8}});
   EXPECT_FALSE(rec.feasible);
   EXPECT_FALSE(rec.rationale.empty());
   // The closest point (fastest) is surfaced.
@@ -47,7 +50,8 @@ TEST(Planner, TightBudgetReportedInfeasible) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   PlannerGoal goal;
   goal.budget = Money(0.01);
-  const Recommendation rec = recommendProvisioning(wf, kAmazon, goal, {1, 8});
+  const Recommendation rec = recommendProvisioning(
+      wf, kAmazon, goal, ProvisioningSweepConfig{.processorCounts = {1, 8}});
   EXPECT_FALSE(rec.feasible);
 }
 
@@ -62,7 +66,8 @@ TEST(Planner, DefaultLadderUsedWhenEmpty) {
 TEST(Planner, FrontierIsPareto) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   const Recommendation rec =
-      recommendProvisioning(wf, kAmazon, PlannerGoal{}, {1, 2, 4, 8, 16});
+      recommendProvisioning(wf, kAmazon, PlannerGoal{},
+                            ProvisioningSweepConfig{.processorCounts = {1, 2, 4, 8, 16}});
   // Sorted by makespan descending cost: no point dominates another.
   for (std::size_t i = 0; i < rec.frontier.size(); ++i) {
     for (std::size_t j = 0; j < rec.frontier.size(); ++j) {

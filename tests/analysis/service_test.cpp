@@ -112,7 +112,7 @@ TEST(Service, ProfileFromWorkflowMatchesModeComparison) {
   const RequestProfile p =
       profileFromWorkflow(wf, Bytes::fromMB(173.46), kAmazon);
   EXPECT_EQ(p.name, "montage-1deg");
-  const auto rows = dataModeComparison(wf, kAmazon);
+  const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
   EXPECT_NEAR(p.costOnDemand.value(), rows[1].totalCost().value(), 1e-9);
   EXPECT_LT(p.costPreStaged, p.costOnDemand);
   EXPECT_NEAR(p.costServeStored.value(), 0.17346 * 0.16, 1e-6);

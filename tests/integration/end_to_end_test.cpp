@@ -45,7 +45,8 @@ TEST(EndToEnd, DaxFileOnDiskDrivesPlanner) {
   analysis::PlannerGoal goal;
   goal.deadlineSeconds = 2.0 * kSecondsPerHour;
   const auto rec =
-      analysis::recommendProvisioning(wf, kAmazon, goal, {1, 4, 16, 64});
+      analysis::recommendProvisioning(wf, kAmazon, goal,
+                                      analysis::ProvisioningSweepConfig{.processorCounts = {1, 4, 16, 64}});
   EXPECT_TRUE(rec.feasible);
   EXPECT_LE(rec.choice.makespanSeconds, goal.deadlineSeconds);
   std::remove(path.c_str());
@@ -94,12 +95,14 @@ TEST(EndToEnd, FeeStructureFlipsDataModeRanking) {
   // and transfer costs were lower, it is possible that the Remote I/O mode
   // would have resulted in the least total cost of the three."
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
-  const auto amazonRows = analysis::dataModeComparison(wf, kAmazon);
+  const auto amazonRows = analysis::dataModeComparison(
+      wf, kAmazon, analysis::DataModeComparisonConfig{});
   EXPECT_GT(amazonRows[0].dataManagementCost(),
             amazonRows[2].dataManagementCost());  // remote > cleanup
 
   const auto flippedRows = analysis::dataModeComparison(
-      wf, cloud::Pricing::storageHeavyProvider());
+      wf, cloud::Pricing::storageHeavyProvider(),
+      analysis::DataModeComparisonConfig{});
   EXPECT_LT(flippedRows[0].dataManagementCost(),
             flippedRows[1].dataManagementCost());  // remote < regular
 }
@@ -131,9 +134,11 @@ TEST(EndToEnd, CustomWorkflowThroughWholeStack) {
   wf.addOutput(merge, product);
   wf.finalize();
 
-  const auto pts = analysis::provisioningSweep(wf, {1, 2, 6}, kAmazon);
+  const auto pts = analysis::provisioningSweep(
+      wf, kAmazon, {.processorCounts = {1, 2, 6}});
   EXPECT_LT(pts[2].makespanSeconds, pts[0].makespanSeconds);
-  const auto rows = analysis::dataModeComparison(wf, kAmazon);
+  const auto rows = analysis::dataModeComparison(
+      wf, kAmazon, analysis::DataModeComparisonConfig{});
   EXPECT_EQ(rows.size(), 3u);
   const auto decision = analysis::mosaicArchivalDecision(
       rows[1].cpuCost, Bytes::fromMB(200.0), kAmazon);

@@ -25,7 +25,7 @@ const ProvisioningPoint& pointFor(const std::vector<ProvisioningPoint>& pts,
 // ---------------------------------------------------------------- Figure 4
 TEST(PaperFig4, Montage1DegreeEndpoints) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto pts = provisioningSweep(wf, {1, 16, 128}, kAmazon);
+  const auto pts = provisioningSweep(wf, kAmazon, {.processorCounts = {1, 16, 128}});
 
   // "when only one processor is provisioned ... the longest execution time
   // of 5.5 hours" and "60 cents for the 1 processor computation".
@@ -41,7 +41,7 @@ TEST(PaperFig4, Montage1DegreeEndpoints) {
 
 TEST(PaperFig4, StorageCostsNegligibleAndCleanupSlightlyLess) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto pts = provisioningSweep(wf, {1, 8, 128}, kAmazon);
+  const auto pts = provisioningSweep(wf, kAmazon, {.processorCounts = {1, 8, 128}});
   for (const auto& p : pts) {
     // "the storage costs are negligible as compared to the other costs."
     EXPECT_LT(p.storageCost.value(), 0.02 * p.totalCost.value());
@@ -53,7 +53,8 @@ TEST(PaperFig4, StorageCostsNegligibleAndCleanupSlightlyLess) {
 
 TEST(PaperFig4, TotalCostRisesMakespanFalls) {
   const auto wf = montage::buildMontageWorkflow(1.0);
-  const auto pts = provisioningSweep(wf, defaultProcessorLadder(), kAmazon);
+  const auto pts = provisioningSweep(
+      wf, kAmazon, {.processorCounts = defaultProcessorLadder()});
   for (std::size_t i = 1; i < pts.size(); ++i) {
     EXPECT_GT(pts[i].totalCost, pts[i - 1].totalCost) << pts[i].processors;
     EXPECT_LE(pts[i].makespanSeconds, pts[i - 1].makespanSeconds + 1e-6);
@@ -63,7 +64,7 @@ TEST(PaperFig4, TotalCostRisesMakespanFalls) {
 // ---------------------------------------------------------------- Figure 5
 TEST(PaperFig5, Montage2DegreeEndpoints) {
   const auto wf = montage::buildMontageWorkflow(2.0);
-  const auto pts = provisioningSweep(wf, {1, 128}, kAmazon);
+  const auto pts = provisioningSweep(wf, kAmazon, {.processorCounts = {1, 128}});
   // "the cost of running the workflow on 1 processor is $2.25 with a
   // runtime of 20.5 hours".
   const auto& p1 = pointFor(pts, 1);
@@ -79,7 +80,7 @@ TEST(PaperFig5, Montage2DegreeEndpoints) {
 // ---------------------------------------------------------------- Figure 6
 TEST(PaperFig6, Montage4DegreeEndpoints) {
   const auto wf = montage::buildMontageWorkflow(4.0);
-  const auto pts = provisioningSweep(wf, {1, 16, 128}, kAmazon);
+  const auto pts = provisioningSweep(wf, kAmazon, {.processorCounts = {1, 16, 128}});
   // "running on 1 processor costs $9 with a runtime of 85 hours".
   const auto& p1 = pointFor(pts, 1);
   EXPECT_NEAR(hours(p1.makespanSeconds), 85.0, 5.0);
@@ -101,7 +102,7 @@ TEST(PaperQ1Service, FiveHundredMosaics) {
   // versus $7,000 using 128 processors ... a total cost of 500 mosaics
   // would be $4,625 [16 procs]."
   const auto wf = montage::buildMontageWorkflow(4.0);
-  const auto pts = provisioningSweep(wf, {1, 16, 128}, kAmazon);
+  const auto pts = provisioningSweep(wf, kAmazon, {.processorCounts = {1, 16, 128}});
   EXPECT_NEAR(pointFor(pts, 1).totalCost.value() * 500.0, 4500.0, 450.0);
   EXPECT_NEAR(pointFor(pts, 16).totalCost.value() * 500.0, 4625.0, 700.0);
   EXPECT_NEAR(pointFor(pts, 128).totalCost.value() * 500.0, 7000.0, 3500.0);
@@ -114,7 +115,7 @@ TEST(PaperFig10, CpuCostsExact) {
        std::vector<std::pair<double, double>>{{1.0, 0.56}, {2.0, 2.03},
                                               {4.0, 8.40}}) {
     const auto wf = montage::buildMontageWorkflow(deg);
-    const auto rows = dataModeComparison(wf, kAmazon);
+    const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
     for (const auto& row : rows)
       EXPECT_NEAR(row.cpuCost.value(), cpu, 1e-6) << deg << " degrees";
   }
@@ -125,7 +126,7 @@ TEST(PaperFig10, RemoteIoDmSlightlyBelowCpu) {
   // remote I/O execution mode."
   for (double deg : {1.0, 2.0}) {
     const auto wf = montage::buildMontageWorkflow(deg);
-    const auto rows = dataModeComparison(wf, kAmazon);
+    const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
     const auto& remote = rows[0];
     EXPECT_LT(remote.dataManagementCost(), remote.cpuCost) << deg;
     EXPECT_GT(remote.dataManagementCost(), remote.cpuCost * 0.4) << deg;
@@ -137,7 +138,7 @@ TEST(PaperFig10, TwoDegreeRegularTotals) {
   // data are already available in the cloud is $2.12 ... The cost of the
   // mosaic that has to bring in the data from outside the cloud is $2.22."
   const auto wf = montage::buildMontageWorkflow(2.0);
-  const auto rows = dataModeComparison(wf, kAmazon);
+  const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
   const auto& regular = rows[1];
   EXPECT_NEAR(regular.totalCost().value(), 2.22, 0.12);
   const Money preStaged = regular.totalCost() - regular.transferInCost;
@@ -148,7 +149,7 @@ TEST(PaperFig10, FourDegreeRegularTotals) {
   // Q3: "The cost of creating a 4 degrees square mosaic in regular mode was
   // $8.88 ... if the input data is already archived ... $8.75."
   const auto wf = montage::buildMontageWorkflow(4.0);
-  const auto rows = dataModeComparison(wf, kAmazon);
+  const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
   const auto& regular = rows[1];
   EXPECT_NEAR(regular.totalCost().value(), 8.88, 0.45);
   const Money preStaged = regular.totalCost() - regular.transferInCost;
@@ -160,8 +161,8 @@ TEST(PaperFig7to9, ProvisionedVsUsageGap) {
   // 128 processors is $13.92 in the provisioned case, whereas the workflow
   // which is charged only for the resources used is only $8.89."
   const auto wf = montage::buildMontageWorkflow(4.0);
-  const auto provisioned = provisioningSweep(wf, {128}, kAmazon)[0];
-  const auto usage = dataModeComparison(wf, kAmazon, {}, 128)[1];
+  const auto provisioned = provisioningSweep(wf, kAmazon, {.processorCounts = {128}})[0];
+  const auto usage = dataModeComparison(wf, kAmazon, {.processorOverride = 128})[1];
   EXPECT_GT(provisioned.totalCost, usage.totalCost());
   EXPECT_NEAR(usage.totalCost().value(), 8.89, 0.5);
 }
@@ -170,7 +171,8 @@ TEST(PaperFig7to9, ProvisionedVsUsageGap) {
 TEST(PaperFig11, CostsIncreaseWithCcr) {
   const auto wf = montage::buildMontageWorkflow(1.0);
   const auto pts =
-      ccrSweep(wf, {0.053, 0.1, 0.2, 0.4, 0.8, 1.6}, 8, kAmazon);
+      ccrSweep(wf, kAmazon,
+               {.ccrTargets = {0.053, 0.1, 0.2, 0.4, 0.8, 1.6}});
   for (std::size_t i = 1; i < pts.size(); ++i) {
     EXPECT_GT(pts[i].totalCost, pts[i - 1].totalCost);
     EXPECT_GT(pts[i].storageCost, pts[i - 1].storageCost);
@@ -183,7 +185,7 @@ TEST(PaperQ2b, ArchiveBreakEvenFromSimulatedCosts) {
   // Rebuild the paper's 18,000-mosaics-per-month figure from *simulated*
   // request costs rather than quoted ones.
   const auto wf = montage::buildMontageWorkflow(2.0);
-  const auto regular = dataModeComparison(wf, kAmazon)[1];
+  const auto regular = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{})[1];
   const Money onDemand = regular.totalCost();
   const Money preStaged = onDemand - regular.transferInCost;
   const ArchiveEconomics e =
@@ -198,7 +200,7 @@ TEST(PaperQ2b, ArchiveBreakEvenFromSimulatedCosts) {
 // --------------------------------------------------------------- Question 3
 TEST(PaperQ3, WholeSkyFromSimulatedCosts) {
   const auto wf = montage::buildMontageWorkflow(4.0);
-  const auto regular = dataModeComparison(wf, kAmazon)[1];
+  const auto regular = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{})[1];
   const Money onDemand = regular.totalCost();
   const Money preStaged = onDemand - regular.transferInCost;
   const SkyCampaignCost sky = skyCampaign(3900, onDemand, preStaged);
@@ -214,7 +216,7 @@ TEST(PaperQ3, ArchivalBreakEvensFromSimulatedCpuCosts) {
   for (const auto& [deg, months] : expectations) {
     const auto params = montage::paramsForDegrees(deg);
     const auto wf = montage::buildMontageWorkflow(params);
-    const auto rows = dataModeComparison(wf, kAmazon);
+    const auto rows = dataModeComparison(wf, kAmazon, DataModeComparisonConfig{});
     const ArchivalDecision d =
         mosaicArchivalDecision(rows[1].cpuCost, params.mosaicBytes, kAmazon);
     EXPECT_NEAR(d.breakEvenMonths, months, 0.05) << deg << " degrees";

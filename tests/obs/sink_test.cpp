@@ -110,5 +110,23 @@ TEST(RingBufferSink, CountOfFiltersByPayloadType) {
   EXPECT_EQ(ring.countOf<TransferStarted>(), 0u);
 }
 
+TEST(CollectingSink, BuffersEverythingInArrivalOrder) {
+  CollectingSink sink;
+  EXPECT_TRUE(sink.accepts(EventKind::TaskReady));
+  for (std::uint32_t i = 0; i < 4; ++i) sink.onEvent(taskReady(i, i));
+  ASSERT_EQ(sink.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(std::get<TaskReady>(sink.events()[i].payload).task, i);
+}
+
+TEST(CollectingSink, TakeDrainsTheBuffer) {
+  CollectingSink sink;
+  sink.onEvent(taskReady(0.0, 7));
+  const std::vector<Event> taken = sink.take();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(std::get<TaskReady>(taken[0].payload).task, 7u);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
 }  // namespace
 }  // namespace mcsim::obs

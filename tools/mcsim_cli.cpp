@@ -26,6 +26,7 @@
 #include "mcsim/faults/faults.hpp"
 #include "mcsim/montage/factory.hpp"
 #include "mcsim/obs/telemetry.hpp"
+#include "mcsim/runner/runner.hpp"
 #include "mcsim/util/args.hpp"
 #include "mcsim/util/log.hpp"
 #include "mcsim/workflows/gallery.hpp"
@@ -58,6 +59,10 @@ common options:
                       report.json for the run into directory <d>
   --sample-period <s> storage sampling period for --telemetry-dir
                       in simulated seconds                  (default 60)
+  --jobs <n>          worker threads for sweep / modes / ccr /
+                      reliability; 0 = serial (exact legacy code
+                      path, useful for debugging)
+                      (default: hardware concurrency)
   --log-level <l>     debug | info | warn | error | off     (default warn)
   --csv               machine-readable output where supported
 
@@ -232,32 +237,48 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   return 0;
 }
 
+/// --jobs for the sweep-style commands; default = all hardware threads,
+/// 0 = serial (the exact legacy single-threaded code path).
+int parseJobs(const ArgParser& args) {
+  const int jobs = args.intOr("jobs", runner::defaultJobs());
+  if (jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  return jobs;
+}
+
 int cmdSweep(const dag::Workflow& wf, const ArgParser& args) {
-  std::vector<int> ladder = analysis::defaultProcessorLadder();
-  if (const auto list = args.value("procs")) ladder = parseIntList(*list);
-  engine::EngineConfig base;
-  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
-  const auto points = analysis::provisioningSweep(
-      wf, ladder, cloud::Pricing::amazon2008(), base);
+  analysis::ProvisioningSweepConfig config;
+  if (const auto list = args.value("procs"))
+    config.processorCounts = parseIntList(*list);
+  config.base.linkBandwidthBytesPerSec =
+      args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  config.jobs = parseJobs(args);
+  const auto points =
+      analysis::provisioningSweep(wf, cloud::Pricing::amazon2008(), config);
   analysis::provisioningTable(points).print(std::cout);
   return 0;
 }
 
 int cmdModes(const dag::Workflow& wf, const ArgParser& args) {
-  engine::EngineConfig base;
-  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
-  const auto rows = analysis::dataModeComparison(
-      wf, cloud::Pricing::amazon2008(), base, args.intOr("procs", 0));
+  analysis::DataModeComparisonConfig config;
+  config.base.linkBandwidthBytesPerSec =
+      args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  config.processorOverride = args.intOr("procs", 0);
+  config.jobs = parseJobs(args);
+  const auto rows =
+      analysis::dataModeComparison(wf, cloud::Pricing::amazon2008(), config);
   analysis::dataModeTable(rows).print(std::cout);
   return 0;
 }
 
 int cmdCcr(const dag::Workflow& wf, const ArgParser& args) {
-  std::vector<double> targets = {0.053, 0.1, 0.2, 0.4, 0.8, 1.6};
+  analysis::CcrSweepConfig config;
+  config.ccrTargets = {0.053, 0.1, 0.2, 0.4, 0.8, 1.6};
   if (const auto list = args.value("targets"))
-    targets = parseDoubleList(*list);
-  const auto points = analysis::ccrSweep(wf, targets, args.intOr("procs", 8),
-                                         cloud::Pricing::amazon2008());
+    config.ccrTargets = parseDoubleList(*list);
+  config.processors = args.intOr("procs", 8);
+  config.jobs = parseJobs(args);
+  const auto points =
+      analysis::ccrSweep(wf, cloud::Pricing::amazon2008(), config);
   analysis::ccrTable(points).print(std::cout);
   return 0;
 }
@@ -270,10 +291,11 @@ int cmdReliability(const dag::Workflow& wf, const ArgParser& args) {
   rc.retry = parseRetryFlags(args);
   rc.faultSeed = static_cast<std::uint64_t>(args.numberOr("fault-seed", 1.0));
   rc.processorOverride = args.intOr("procs", 0);
-  engine::EngineConfig base;
-  base.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
-  const auto points = analysis::reliabilitySweep(
-      wf, cloud::Pricing::amazon2008(), rc, base);
+  rc.base.linkBandwidthBytesPerSec =
+      args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  rc.jobs = parseJobs(args);
+  const auto points =
+      analysis::reliabilitySweep(wf, cloud::Pricing::amazon2008(), rc);
   analysis::reliabilityTable(points).print(std::cout);
   return 0;
 }
@@ -302,7 +324,8 @@ int main(int argc, char** argv) {
     ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
                     "out", "trace", "telemetry-dir", "sample-period",
                     "log-level", "mtbf", "retries", "retry-policy",
-                    "retry-delay", "jitter", "deadline", "fault-seed"},
+                    "retry-delay", "jitter", "deadline", "fault-seed",
+                    "jobs"},
                    {"csv"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
