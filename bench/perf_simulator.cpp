@@ -33,7 +33,7 @@ void BM_FairShareLink(benchmark::State& state) {
   const int transfers = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Simulator simulator;
-    sim::Link link(simulator, 1.25e6);
+    sim::Link link(simulator, sim::LinkConfig{.bandwidthBytesPerSec = 1.25e6});
     int done = 0;
     for (int i = 0; i < transfers; ++i)
       link.startTransfer(Bytes(1000.0 + i), [&done] { ++done; });

@@ -7,11 +7,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "mcsim/analysis/experiments.hpp"
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/dag/dax.hpp"
-#include "mcsim/engine/engine.hpp"
-#include "mcsim/engine/trace.hpp"
+#include "mcsim/mcsim.hpp"
 
 namespace {
 

@@ -13,11 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "mcsim/analysis/reliability.hpp"
-#include "mcsim/engine/engine.hpp"
-#include "mcsim/faults/faults.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/obs/sink.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

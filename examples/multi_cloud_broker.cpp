@@ -7,10 +7,7 @@
 //   ./examples/multi_cloud_broker [--degrees D] [--volume requests-per-month]
 #include <iostream>
 
-#include "mcsim/analysis/placement.hpp"
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/util/args.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

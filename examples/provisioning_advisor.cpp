@@ -7,9 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "mcsim/analysis/planner.hpp"
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/montage/factory.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

@@ -10,11 +10,7 @@
 #include <iostream>
 #include <optional>
 
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/engine/engine.hpp"
-#include "mcsim/engine/trace.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/obs/telemetry.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

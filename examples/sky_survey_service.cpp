@@ -15,10 +15,7 @@
 //   ./examples/sky_survey_service [--rate N] [--months M] [--seed S]
 #include <iostream>
 
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/analysis/service.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/util/args.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

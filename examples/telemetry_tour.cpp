@@ -12,12 +12,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/engine/engine.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/obs/metrics.hpp"
-#include "mcsim/obs/report.hpp"
-#include "mcsim/obs/sink.hpp"
+#include "mcsim/mcsim.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcsim;

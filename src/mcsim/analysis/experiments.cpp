@@ -16,10 +16,12 @@ namespace {
 /// The shared scenario-batch shape of every figure driver: specs are listed
 /// in the exact order the old serial loops visited them, so a jobs==0 run
 /// is the legacy code path and any jobs>0 run merges to identical output.
-runner::RunnerOptions runnerOptions(int jobs, obs::Sink* observer) {
+runner::RunnerOptions runnerOptions(int jobs, obs::Sink* observer,
+                                    runner::ScenarioMemoCache* cache) {
   runner::RunnerOptions options;
   options.jobs = jobs;
   options.observer = observer;
+  options.cache = cache;
   return options;
 }
 
@@ -59,7 +61,8 @@ std::vector<ProvisioningPoint> provisioningSweep(
                              p, prefix + "/cleanup"));
   }
   const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer));
+      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
+                                                config.cache));
 
   std::vector<ProvisioningPoint> points;
   points.reserve(counts.size());
@@ -102,7 +105,8 @@ std::vector<DataModeMetrics> dataModeComparison(
                                  engine::dataModeName(mode)));
   }
   const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer));
+      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
+                                                config.cache));
 
   std::vector<DataModeMetrics> rows;
   rows.reserve(results.size());
@@ -154,7 +158,8 @@ std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
                              config.processors, prefix + "/cleanup"));
   }
   const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer));
+      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
+                                                config.cache));
 
   std::vector<CcrPoint> points;
   points.reserve(config.ccrTargets.size());

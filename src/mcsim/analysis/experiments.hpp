@@ -22,6 +22,10 @@
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/engine.hpp"
 
+namespace mcsim::runner {
+class ScenarioMemoCache;
+}
+
 namespace mcsim::analysis {
 
 /// One point of the Question-1 sweep: P processors provisioned for the
@@ -53,6 +57,10 @@ struct ProvisioningSweepConfig {
   /// Observes every scenario; streams merge deterministically in sweep
   /// order regardless of jobs.  Borrowed; may be nullptr.
   obs::Sink* observer = nullptr;
+  /// Optional scenario memo cache (runner/memo.hpp): repeated points — the
+  /// paired cleanup runs at the same ladder rung, or whole re-sweeps from a
+  /// planner — are served without re-simulation.  Borrowed; may be nullptr.
+  runner::ScenarioMemoCache* cache = nullptr;
 };
 
 /// Run the Question-1 sweep described by `config`.
@@ -102,6 +110,8 @@ struct DataModeComparisonConfig {
   /// Runner worker threads; 0 = serial (the exact legacy code path).
   int jobs = 0;
   obs::Sink* observer = nullptr;
+  /// Optional scenario memo cache; see ProvisioningSweepConfig::cache.
+  runner::ScenarioMemoCache* cache = nullptr;
 };
 
 /// Run all three modes (RemoteIO, Regular, DynamicCleanup, in that order).
@@ -143,6 +153,8 @@ struct CcrSweepConfig {
   /// Runner worker threads; 0 = serial (the exact legacy code path).
   int jobs = 0;
   obs::Sink* observer = nullptr;
+  /// Optional scenario memo cache; see ProvisioningSweepConfig::cache.
+  runner::ScenarioMemoCache* cache = nullptr;
 };
 
 std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,

@@ -83,6 +83,7 @@ std::vector<ReliabilityPoint> reliabilitySweep(
   runner::RunnerOptions options;
   options.jobs = config.jobs;
   options.observer = config.observer;
+  options.cache = config.cache;
   const auto results = runner::runScenarios(specs, options);
 
   const std::size_t perMode = config.mtbfSeconds.size() + 1;

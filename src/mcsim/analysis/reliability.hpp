@@ -22,6 +22,10 @@
 #include "mcsim/faults/faults.hpp"
 #include "mcsim/util/table.hpp"
 
+namespace mcsim::runner {
+class ScenarioMemoCache;
+}
+
 namespace mcsim::analysis {
 
 /// Sweep parameters: which MTBF values to visit and how crashed tasks retry.
@@ -40,6 +44,10 @@ struct ReliabilityConfig {
   /// Observes every scenario; streams merge deterministically in sweep
   /// order regardless of jobs.  Borrowed; may be nullptr.
   obs::Sink* observer = nullptr;
+  /// Optional scenario memo cache (runner/memo.hpp): the per-mode fault-free
+  /// baselines repeat across reliability sweeps sharing a cache, so only
+  /// the faulty points re-simulate.  Borrowed; may be nullptr.
+  runner::ScenarioMemoCache* cache = nullptr;
 };
 
 /// One (mode, MTBF) point.  mtbfSeconds == 0 marks the fault-free baseline.

@@ -1,14 +1,15 @@
 #include "mcsim/cloud/storage.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mcsim/obs/sink.hpp"
 
 namespace mcsim::cloud {
 
-StorageService::StorageService(sim::Simulator& sim, Bytes capacity)
-    : sim_(sim), capacity_(capacity) {
-  if (capacity.value() <= 0.0)
+StorageService::StorageService(sim::Simulator& sim, const StorageConfig& config)
+    : sim_(sim), capacity_(Bytes(config.capacityBytes)) {
+  if (config.capacityBytes <= 0.0)
     throw std::invalid_argument("StorageService: capacity must be positive");
 }
 
@@ -71,11 +72,13 @@ void StorageService::setOutages(
 }
 
 double StorageService::availableFrom(double t) const {
-  for (const auto& [start, end] : outages_) {
-    if (t < start) break;
-    if (t < end) return end;
-  }
-  return t;
+  // First window with start > t; only its predecessor can cover t.
+  const auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), t,
+      [](double v, const std::pair<double, double>& w) { return v < w.first; });
+  if (it == outages_.begin()) return t;
+  const auto& prev = *(it - 1);
+  return t < prev.second ? prev.second : t;
 }
 
 double StorageService::byteSecondsUsed() const {

@@ -6,6 +6,11 @@
 // infinite capacity", §5); a finite capacity can be configured for
 // storage-constrained what-ifs, in which case an over-commit throws (this
 // simulator never silently drops data).
+//
+// The usage curve is a flat sorted event vector with incremental area
+// accounting (see util/usage_curve.hpp): byteSecondsUsed(), peakBytes() and
+// gbHoursUsed() are O(1) while the simulation records in time order, so
+// per-sample billing integration no longer rescans the curve.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +30,24 @@ class Sink;
 
 namespace mcsim::cloud {
 
+/// Designated-initializer construction options (PR 3 config-struct style).
+struct StorageConfig {
+  /// Resident-byte capacity; must be > 0.  Infinite by default (§5).
+  double capacityBytes = std::numeric_limits<double>::infinity();
+};
+
 class StorageService {
  public:
-  /// `capacity` defaults to unlimited.
-  explicit StorageService(
-      sim::Simulator& sim,
-      Bytes capacity = Bytes(std::numeric_limits<double>::infinity()));
+  /// Unlimited capacity (§5 default).
+  explicit StorageService(sim::Simulator& sim)
+      : StorageService(sim, StorageConfig{}) {}
+
+  StorageService(sim::Simulator& sim, const StorageConfig& config);
+
+  [[deprecated("use StorageService(sim, StorageConfig{.capacityBytes = ...}) "
+               "— see DESIGN.md deprecation schedule")]]
+  StorageService(sim::Simulator& sim, Bytes capacity)
+      : StorageService(sim, StorageConfig{capacity.value()}) {}
 
   /// An object lands on storage now.  `key` must not already be resident.
   void put(std::uint64_t key, Bytes size);
@@ -66,7 +83,8 @@ class StorageService {
   /// True if no outage window covers time `t`.
   bool availableAt(double t) const { return availableFrom(t) == t; }
   /// Earliest time >= `t` at which the service is available (the end of the
-  /// window covering `t`, else `t` itself).
+  /// window covering `t`, else `t` itself).  Binary search over the sorted
+  /// window vector.
   double availableFrom(double t) const;
 
   /// Install a telemetry sink (file create / delete); nullptr disables.

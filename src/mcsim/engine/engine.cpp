@@ -48,10 +48,18 @@ class Run {
         cfg_(cfg),
         fcfg_(effectiveFaults(cfg)),
         plan_(dag::analyzeCleanup(wf)),
-        link_(sim_, cfg.linkBandwidthBytesPerSec, cfg.linkSharing),
-        storage_(sim_, cfg.storageCapacityBytes > 0.0
-                           ? Bytes(cfg.storageCapacityBytes)
-                           : Bytes(std::numeric_limits<double>::infinity())) {
+        sim_(sim::SimulatorOptions{
+            cfg.referenceCore ? sim::CalendarImpl::Reference
+                              : sim::CalendarImpl::ArenaHeap,
+            wf.taskCount() * 2 + wf.fileCount() + 16}),
+        link_(sim_,
+              sim::LinkConfig{cfg.linkBandwidthBytesPerSec, cfg.linkSharing,
+                              cfg.referenceCore ? sim::LinkSchedule::Reference
+                                                : sim::LinkSchedule::Incremental}),
+        storage_(sim_, cloud::StorageConfig{
+                           cfg.storageCapacityBytes > 0.0
+                               ? cfg.storageCapacityBytes
+                               : std::numeric_limits<double>::infinity()}) {
     if (fcfg_.anyEnabled()) injector_.emplace(fcfg_);
     if (!fcfg_.storage.outages.empty()) {
       std::vector<std::pair<double, double>> windows;
@@ -140,6 +148,11 @@ class Run {
     const std::size_t nTasks = wf_.taskCount();
     waitCount_.assign(nTasks, 0);
     abandoned_.assign(nTasks, false);
+    running_.assign(nTasks, Attempt{});
+    if (cfg_.mode == DataMode::RemoteIO) {
+      pendingIo_.assign(nTasks, 0);
+      remoteKeys_.assign(nTasks, {});
+    }
     remainingUses_ = plan_.remainingUses;
 
     isExternal_.assign(wf_.fileCount(), false);
@@ -421,6 +434,7 @@ class Run {
       if (const auto ttf = injector_->drawCrashTime(t.runtimeSeconds))
         a.crashEvent = sim_.scheduleAfter(*ttf, [this, id] { onCrash(id); });
     }
+    a.active = true;
     running_[id] = a;
   }
 
@@ -432,11 +446,10 @@ class Run {
   /// transfer again" accounting.
   void onCrash(TaskId id) {
     if (halted_) return;
-    const auto it = running_.find(id);
-    if (it == running_.end())
+    if (!running_[id].active)
       throw std::logic_error("engine: crash for a task with no attempt");
-    const Attempt a = it->second;
-    running_.erase(it);
+    const Attempt a = running_[id];
+    running_[id].active = false;
     sim_.cancel(a.finishEvent);
     const double wasted = sim_.now() - a.execStart;
     result_.cpuBusySeconds += wasted;
@@ -446,15 +459,13 @@ class Run {
     bill(obs::Resource::Cpu, id, wasted);
     bool freed = false;
     if (cfg_.mode == DataMode::RemoteIO) {
-      if (const auto keys = remoteKeys_.find(id); keys != remoteKeys_.end()) {
-        for (const std::uint64_t key : keys->second) {
-          storage_.erase(key);
-          billErase(key);
-        }
-        freed = !keys->second.empty();
-        remoteKeys_.erase(keys);
+      for (const std::uint64_t key : remoteKeys_[id]) {
+        storage_.erase(key);
+        billErase(key);
       }
-      pendingIo_.erase(id);
+      freed = !remoteKeys_[id].empty();
+      remoteKeys_[id].clear();
+      pendingIo_[id] = 0;
     }
     if (freed) unblock();
     if (const auto delay = injector_->nextRetryDelay(id)) {
@@ -512,12 +523,11 @@ class Run {
     if (finished_ || halted_) return;
     halted_ = true;
     result_.deadlineExceeded = true;
-    std::vector<TaskId> inflight;
-    inflight.reserve(running_.size());
-    for (const auto& [id, a] : running_) inflight.push_back(id);
-    std::sort(inflight.begin(), inflight.end());
-    for (const TaskId id : inflight) {
+    // The task-indexed attempt vector is naturally in ascending id order —
+    // the order the old map-based code had to sort into.
+    for (TaskId id = 0; id < static_cast<TaskId>(running_.size()); ++id) {
       const Attempt& a = running_[id];
+      if (!a.active) continue;
       sim_.cancel(a.finishEvent);
       if (a.crashEvent != sim::kInvalidEvent) sim_.cancel(a.crashEvent);
       const double wasted =
@@ -525,8 +535,8 @@ class Run {
       result_.cpuBusySeconds += wasted;
       result_.wastedCpuSeconds += wasted;
       bill(obs::Resource::Cpu, id, wasted);
+      running_[id].active = false;
     }
-    running_.clear();
     emit(obs::DeadlineExceeded{tasksRemaining_});
     finish();
   }
@@ -564,7 +574,7 @@ class Run {
       sim_.schedule(at, [this, id] { finishRegular(id); });
       return;
     }
-    running_.erase(id);
+    running_[id].active = false;
     if (attemptFails(id, &Run::finishRegular)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
@@ -641,7 +651,7 @@ class Run {
       sim_.schedule(at, [this, id] { finishRemote(id); });
       return;
     }
-    running_.erase(id);
+    running_[id].active = false;
     if (attemptFails(id, &Run::finishRemote)) return;
     const dag::Task& t = wf_.task(id);
     result_.cpuBusySeconds += t.runtimeSeconds;
@@ -653,7 +663,7 @@ class Run {
     if (cfg_.storageCapacityBytes > 0.0)
       reservedBytes_ -= storageDemand(id);  // outputs materialize below
     if (!t.inputs.empty()) unblock();
-    remoteKeys_.erase(id);
+    remoteKeys_[id].clear();
     pendingIo_[id] = t.outputs.size();
     if (t.outputs.empty()) {
       teardownRemote(id);
@@ -680,7 +690,7 @@ class Run {
   }
 
   void teardownRemote(TaskId id) {
-    pendingIo_.erase(id);
+    pendingIo_[id] = 0;
     completeTask(id);
   }
 
@@ -770,9 +780,10 @@ class Run {
 
   /// Remote I/O: per-task in-flight transfer counts and the storage keys of
   /// the task's resident input objects (unique per use, since two tasks may
-  /// stage the same logical file concurrently).
-  std::unordered_map<TaskId, std::size_t> pendingIo_;
-  std::unordered_map<TaskId, std::vector<std::uint64_t>> remoteKeys_;
+  /// stage the same logical file concurrently).  Task-indexed flat vectors
+  /// (sized in prepare()); empty in the other data modes.
+  std::vector<std::size_t> pendingIo_;
+  std::vector<std::vector<std::uint64_t>> remoteKeys_;
   std::uint64_t nextObjectKey_ = 1ull << 32;
 
   std::vector<ReadyEntry> blocked_;  ///< Ready but waiting for storage space.
@@ -786,9 +797,10 @@ class Run {
     sim::EventId crashEvent = sim::kInvalidEvent;
     double execStart = 0.0;
     double runtimeSeconds = 0.0;
+    bool active = false;
   };
   std::optional<faults::FaultInjector> injector_;
-  std::unordered_map<TaskId, Attempt> running_;
+  std::vector<Attempt> running_;  ///< Task-indexed; active marks in-flight.
   std::vector<bool> abandoned_;  ///< Descendants of permanently failed tasks.
   bool halted_ = false;          ///< Deadline hit: pending events are no-ops.
   int linkSuspends_ = 0;         ///< Overlapping-outage refcount.

@@ -94,6 +94,12 @@ struct EngineConfig {
   /// > 0: emit obs::StorageSampled every this many simulated seconds while
   /// the run is active (requires `observer`).  0 disables sampling.
   double samplePeriodSeconds = 0.0;
+  /// Run on the reference (pre-overhaul) simulation core: the lazy-deletion
+  /// priority-queue event calendar and the O(n)-rescan link scheduler.
+  /// Results match the optimized core up to floating-point accumulation
+  /// order.  Exists for bench/perf_core before/after runs and differential
+  /// tests; leave false in real experiments.
+  bool referenceCore = false;
 };
 
 /// Simulate one execution of `workflow` (must be finalized) and return its

@@ -201,6 +201,18 @@ struct BillingLineItem {
   double quantity;
 };
 
+// -- scenario runner ----------------------------------------------------------
+/// Scenario memo-cache statistics for one runner batch: how many scenarios
+/// were served without re-simulation (`hits` — prior cache entries plus
+/// in-batch duplicates), how many were actually simulated (`misses`), and
+/// the cache population after the batch.  Emitted once per run, after every
+/// scenario's merged event stream.
+struct ScenarioCacheStats {
+  std::size_t hits;
+  std::size_t misses;
+  std::size_t entries;
+};
+
 // -- logging ------------------------------------------------------------------
 /// A util/log message routed through the event bus (satellite of the single
 /// logging path).  `level` is the integer value of mcsim::LogLevel.
@@ -220,7 +232,8 @@ using Payload = std::variant<
     TaskBlocked, StageInStarted, StageInFinished, StageOutStarted,
     StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted,
     ProcessorCrashed, TaskRetryScheduled, TaskFailed, TaskAbandoned,
-    StorageOutageStarted, StorageOutageEnded, DeadlineExceeded>;
+    StorageOutageStarted, StorageOutageEnded, DeadlineExceeded,
+    ScenarioCacheStats>;
 
 enum class EventKind : std::uint8_t {
   SimEventScheduled,
@@ -260,9 +273,10 @@ enum class EventKind : std::uint8_t {
   StorageOutageStarted,
   StorageOutageEnded,
   DeadlineExceeded,
+  ScenarioCacheStats,
 };
 
-inline constexpr std::size_t kEventKindCount = 37;
+inline constexpr std::size_t kEventKindCount = 38;
 static_assert(std::variant_size_v<Payload> == kEventKindCount,
               "EventKind and Payload must list the same alternatives");
 

@@ -157,6 +157,10 @@ struct Writer {
   void operator()(const DeadlineExceeded& p) {
     os << ",\"unfinished_tasks\":" << p.unfinishedTasks;
   }
+  void operator()(const ScenarioCacheStats& p) {
+    os << ",\"hits\":" << p.hits << ",\"misses\":" << p.misses
+       << ",\"entries\":" << p.entries;
+  }
 
   void stage(std::uint32_t file, std::uint32_t task, double bytes) {
     os << ",\"file\":" << file;

@@ -54,6 +54,7 @@ const char* eventName(EventKind kind) {
     case EventKind::StorageOutageStarted: return "storage_outage_started";
     case EventKind::StorageOutageEnded: return "storage_outage_ended";
     case EventKind::DeadlineExceeded: return "deadline_exceeded";
+    case EventKind::ScenarioCacheStats: return "scenario_cache_stats";
   }
   return "unknown";
 }

@@ -1,0 +1,198 @@
+#include "mcsim/runner/memo.hpp"
+
+#include <cstring>
+#include <string_view>
+
+#include "mcsim/dag/workflow.hpp"
+
+namespace mcsim::runner {
+namespace {
+
+// FNV-1a, 64-bit.  Not cryptographic — collision of two *different*
+// scenarios inside one process's sweeps is the only failure mode, and at
+// ~10^4 distinct points per process the 64-bit birthday bound (~10^9) has
+// comfortable margin.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+class Fnv {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= p[i];
+      state_ *= kFnvPrime;
+    }
+  }
+  void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    // +0.0 and -0.0 compare equal but differ in bits; canonicalize so
+    // behaviorally identical configs share a key.
+    if (v == 0.0) v = 0.0;
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffset;
+};
+
+void hashOutages(Fnv& h, const std::vector<faults::OutageWindow>& outages) {
+  h.u64(outages.size());
+  for (const auto& w : outages) {
+    h.f64(w.startSeconds);
+    h.f64(w.durationSeconds);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprintWorkflow(const dag::Workflow& workflow) {
+  Fnv h;
+  h.str(workflow.name());
+  const auto& tasks = workflow.tasks();
+  h.u64(tasks.size());
+  for (const auto& t : tasks) {
+    h.str(t.name);
+    h.str(t.type);
+    h.f64(t.runtimeSeconds);
+    h.f64(t.earliestStartSeconds);
+    h.u64(t.inputs.size());
+    for (dag::FileId f : t.inputs) h.u32(f);
+    h.u64(t.outputs.size());
+    for (dag::FileId f : t.outputs) h.u32(f);
+  }
+  const auto& files = workflow.files();
+  h.u64(files.size());
+  for (const auto& f : files) {
+    h.str(f.name);
+    h.f64(f.size.value());
+    h.u32(f.producer);
+    h.u8(f.explicitOutput ? 1 : 0);
+  }
+  const auto& ctrl = workflow.controlDependencies();
+  h.u64(ctrl.size());
+  for (const auto& [parent, child] : ctrl) {
+    h.u32(parent);
+    h.u32(child);
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprintConfig(const engine::EngineConfig& config,
+                                bool captureEvents) {
+  Fnv h;
+  h.u8(static_cast<std::uint8_t>(config.mode));
+  h.u32(static_cast<std::uint32_t>(config.processors));
+  h.f64(config.linkBandwidthBytesPerSec);
+  h.u8(static_cast<std::uint8_t>(config.linkSharing));
+  h.u8(static_cast<std::uint8_t>(config.scheduler));
+  h.f64(config.vmStartupSeconds);
+  h.f64(config.vmTeardownSeconds);
+  h.u64(config.outages.size());
+  for (const auto& w : config.outages) {
+    h.f64(w.startSeconds);
+    h.f64(w.durationSeconds);
+  }
+  h.f64(config.storageCapacityBytes);
+  h.f64(config.taskFailureProbability);
+  h.u64(config.failureSeed);
+  h.u8(config.trace ? 1 : 0);
+  h.f64(config.samplePeriodSeconds);
+  h.u8(config.referenceCore ? 1 : 0);
+
+  const faults::FaultConfig& f = config.faults;
+  h.f64(f.processor.mtbfSeconds);
+  hashOutages(h, f.link.outages);
+  hashOutages(h, f.storage.outages);
+  h.u8(static_cast<std::uint8_t>(f.retry.kind));
+  h.u32(static_cast<std::uint32_t>(f.retry.maxRetries));
+  h.f64(f.retry.delaySeconds);
+  h.f64(f.retry.multiplier);
+  h.f64(f.retry.maxDelaySeconds);
+  h.f64(f.retry.jitterFraction);
+  h.f64(f.legacy.probability);
+  h.u64(f.legacy.seed);
+  h.f64(f.deadlineSeconds);
+  h.u64(f.seed);
+
+  h.u8(captureEvents ? 1 : 0);
+  return h.value();
+}
+
+std::uint64_t fingerprintScenario(const dag::Workflow& workflow,
+                                  const engine::EngineConfig& config,
+                                  bool captureEvents) {
+  return combineFingerprints(fingerprintWorkflow(workflow),
+                             fingerprintConfig(config, captureEvents));
+}
+
+std::uint64_t combineFingerprints(std::uint64_t workflowFingerprint,
+                                  std::uint64_t configFingerprint) {
+  Fnv h;
+  h.u64(workflowFingerprint);
+  h.u64(configFingerprint);
+  return h.value();
+}
+
+std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::lookup(
+    std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::peek(
+    std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ScenarioMemoCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(key) != entries_.end();
+}
+
+void ScenarioMemoCache::insert(std::uint64_t key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(entry);
+}
+
+void ScenarioMemoCache::recordBatchHits(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_ += n;
+}
+
+MemoStats ScenarioMemoCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MemoStats{hits_, misses_, entries_.size()};
+}
+
+std::size_t ScenarioMemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ScenarioMemoCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mcsim::runner

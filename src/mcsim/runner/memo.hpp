@@ -1,0 +1,100 @@
+// Scenario memo cache: serve repeated sweep points without re-simulation.
+//
+// Sweeps frequently re-evaluate identical (workflow, platform, mode, seed)
+// points — the planner re-runs the provisioning ladder per goal, reliability
+// sweeps share their fault-free baseline, CCR ladders revisit scale 1.0.
+// Simulation is deterministic, so a scenario's outcome is a pure function
+// of its content; the cache keys an entry by a 64-bit FNV-1a fingerprint of
+// the canonical workflow bytes plus the full effective engine configuration
+// (including the derived fault seed and whether events are captured), and a
+// hit replays the stored ExecutionResult and event stream verbatim — byte-
+// identical to a fresh run by construction, and enforced by the determinism
+// replay harness.
+//
+// Hit/miss accounting is deterministic: the runner classifies every
+// scenario serially before any simulation starts, so counts never depend on
+// worker scheduling.  Thread safety: all members are mutex-guarded, so one
+// cache may be shared across concurrent Runner::run calls.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/obs/event.hpp"
+
+namespace mcsim::dag {
+class Workflow;
+}
+
+namespace mcsim::runner {
+
+/// FNV-1a fingerprint of a workflow's canonical content: name, tasks
+/// (name, type, runtime, release time, input/output file lists), files
+/// (name, size, producer, explicit-output flag) and control edges.
+/// Derived fields (parents, children, levels) are excluded — they are a
+/// function of the above.
+std::uint64_t fingerprintWorkflow(const dag::Workflow& workflow);
+
+/// FNV-1a fingerprint of every behavior-affecting EngineConfig field (the
+/// observer pointer is excluded; `captureEvents` stands in for whether the
+/// runner records the scenario's event stream, which changes what a cache
+/// entry must hold).
+std::uint64_t fingerprintConfig(const engine::EngineConfig& config,
+                                bool captureEvents);
+
+/// Combined scenario fingerprint — the cache key.
+std::uint64_t fingerprintScenario(const dag::Workflow& workflow,
+                                  const engine::EngineConfig& config,
+                                  bool captureEvents);
+
+/// fingerprintScenario from precomputed parts, for callers that amortize
+/// fingerprintWorkflow across many scenarios sharing one workflow.
+std::uint64_t combineFingerprints(std::uint64_t workflowFingerprint,
+                                  std::uint64_t configFingerprint);
+
+/// Cumulative cache statistics.
+struct MemoStats {
+  std::size_t hits = 0;    ///< Scenarios served without simulation.
+  std::size_t misses = 0;  ///< Scenarios that had to simulate.
+  std::size_t entries = 0; ///< Resident cached scenarios.
+};
+
+class ScenarioMemoCache {
+ public:
+  struct Entry {
+    engine::ExecutionResult result;
+    /// The scenario's full event stream; recorded only when the producing
+    /// run captured events (the capture flag is part of the key, so a hit
+    /// always matches the caller's capture shape).
+    std::vector<obs::Event> events;
+  };
+
+  /// Copy of the entry for `key`, or nullopt.  Counts a hit or miss.
+  std::optional<Entry> lookup(std::uint64_t key) const;
+  /// Like lookup but never touches the hit/miss counters — used by the
+  /// runner to serve in-batch duplicates it has already accounted for.
+  std::optional<Entry> peek(std::uint64_t key) const;
+  /// True if `key` is resident, without touching hit/miss counters.
+  bool contains(std::uint64_t key) const;
+  /// Insert or overwrite the entry for `key`.
+  void insert(std::uint64_t key, Entry entry);
+  /// Count `n` scenarios served from in-batch deduplication as hits.
+  void recordBatchHits(std::size_t n);
+
+  MemoStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace mcsim::runner

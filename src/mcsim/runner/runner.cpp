@@ -5,12 +5,15 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/obs/sink.hpp"
+#include "mcsim/runner/memo.hpp"
 
 namespace mcsim::runner {
 namespace {
@@ -45,19 +48,105 @@ void runOne(const ScenarioSpec& spec, std::size_t i,
   out.events = collector.take();
 }
 
+/// Replay one scenario's stream into the shared observer, then drop the
+/// buffer unless the caller asked to keep it.
+void mergeOne(ScenarioResult& r, const RunnerOptions& options) {
+  if (options.observer != nullptr)
+    for (const obs::Event& e : r.events) options.observer->onEvent(e);
+  if (!options.keepEvents) {
+    r.events.clear();
+    r.events.shrink_to_fit();
+  }
+}
+
 /// Replay per-scenario streams into the shared observer in index order —
 /// byte-identical to what a serial instrumented sweep would have emitted —
 /// then drop the buffers unless the caller asked to keep them.
 void mergeEvents(std::vector<ScenarioResult>& results,
                  const RunnerOptions& options) {
-  for (ScenarioResult& r : results) {
-    if (options.observer != nullptr)
-      for (const obs::Event& e : r.events) options.observer->onEvent(e);
-    if (!options.keepEvents) {
-      r.events.clear();
-      r.events.shrink_to_fit();
+  for (ScenarioResult& r : results) mergeOne(r, options);
+}
+
+constexpr std::size_t kRunFresh = std::numeric_limits<std::size_t>::max();
+
+/// Serve scenario `i` from a cache entry (a prior-run hit or an in-batch
+/// duplicate's representative), preserving the scenario's own identity.
+void fillFromEntry(ScenarioMemoCache::Entry entry, const ScenarioSpec& spec,
+                   std::size_t i, ScenarioResult& out) {
+  out.index = i;
+  out.label = spec.label;
+  out.result = std::move(entry.result);
+  out.events = std::move(entry.events);
+  out.fromCache = true;
+}
+
+/// Classification of a batch against the memo cache, computed serially
+/// before any simulation so hit/miss accounting and results never depend on
+/// worker scheduling.  Cache-hit scenarios are filled into `results`
+/// directly; duplicates point at an earlier representative; everything else
+/// lands in `toRun`.
+struct CachePlan {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::size_t> dupOf;  ///< Representative index, or kRunFresh.
+  std::vector<std::size_t> toRun;
+  MemoStats before;  ///< Counter snapshot for per-batch stats deltas.
+};
+
+CachePlan planAgainstCache(const std::vector<ScenarioSpec>& specs,
+                           const RunnerOptions& options, bool capture,
+                           std::vector<ScenarioResult>& results) {
+  const std::size_t n = specs.size();
+  ScenarioMemoCache& cache = *options.cache;
+  CachePlan plan;
+  plan.before = cache.stats();
+  plan.keys.resize(n);
+  plan.dupOf.assign(n, kRunFresh);
+  // Workflow fingerprints are content hashes; memoize per pointer since
+  // sweeps share one workflow across hundreds of scenarios.
+  std::unordered_map<const dag::Workflow*, std::uint64_t> workflowFp;
+  std::unordered_map<std::uint64_t, std::size_t> repByKey;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = workflowFp.try_emplace(specs[i].workflow, 0);
+    if (fresh) it->second = fingerprintWorkflow(*specs[i].workflow);
+    engine::EngineConfig cfg = specs[i].config;
+    if (options.baseSeed != 0) cfg.faults.seed = deriveSeed(options.baseSeed, i);
+    plan.keys[i] =
+        combineFingerprints(it->second, fingerprintConfig(cfg, capture));
+    if (auto rep = repByKey.find(plan.keys[i]); rep != repByKey.end()) {
+      // Identical to a scenario already scheduled this batch: it will be
+      // served from the representative's entry after that entry exists.
+      plan.dupOf[i] = rep->second;
+      cache.recordBatchHits(1);
+      continue;
     }
+    if (auto entry = cache.lookup(plan.keys[i])) {  // counts hit or miss
+      fillFromEntry(std::move(*entry), specs[i], i, results[i]);
+      continue;
+    }
+    repByKey.emplace(plan.keys[i], i);
+    plan.toRun.push_back(i);
   }
+  return plan;
+}
+
+/// Store a freshly simulated representative.  The capture flag is part of
+/// the key, so an event-free entry can never serve a capturing caller.
+void insertEntry(ScenarioMemoCache& cache, std::uint64_t key,
+                 const ScenarioResult& r, bool capture) {
+  ScenarioMemoCache::Entry entry;
+  entry.result = r.result;
+  if (capture) entry.events = r.events;
+  cache.insert(key, std::move(entry));
+}
+
+void emitCacheStats(const ScenarioMemoCache& cache, const MemoStats& before,
+                    obs::Sink* observer) {
+  if (observer == nullptr) return;
+  const MemoStats after = cache.stats();
+  observer->onEvent(obs::Event{
+      0.0, obs::ScenarioCacheStats{after.hits - before.hits,
+                                   after.misses - before.misses,
+                                   after.entries}});
 }
 
 }  // namespace
@@ -84,24 +173,41 @@ std::vector<ScenarioResult> Runner::run(
   const bool capture = options_.observer != nullptr || options_.keepEvents;
   std::vector<ScenarioResult> results(n);
 
+  // With a cache, classify the whole batch up front; only `toRun`
+  // representatives are simulated.  Without one, everything runs fresh.
+  CachePlan plan;
+  if (options_.cache != nullptr) {
+    plan = planAgainstCache(specs, options_, capture, results);
+  } else {
+    plan.toRun.resize(n);
+    std::iota(plan.toRun.begin(), plan.toRun.end(), std::size_t{0});
+  }
+
   const int workers =
       static_cast<int>(std::min<std::size_t>(
-          n, static_cast<std::size_t>(options_.jobs)));
+          plan.toRun.size(), static_cast<std::size_t>(options_.jobs)));
   if (workers <= 1) {
     // jobs == 0 (or a degenerate batch): the exact legacy code path — run
     // in the caller's thread, in spec order, merging each scenario's events
     // as it completes so failures propagate at the same point they would
     // have in the old serial sweeps.
     for (std::size_t i = 0; i < n; ++i) {
-      runOne(specs[i], i, options_, capture, results[i]);
-      if (options_.observer != nullptr)
-        for (const obs::Event& e : results[i].events)
-          options_.observer->onEvent(e);
-      if (!options_.keepEvents) {
-        results[i].events.clear();
-        results[i].events.shrink_to_fit();
+      if (options_.cache != nullptr) {
+        if (plan.dupOf[i] != kRunFresh) {
+          // The representative ran at a smaller index, so its entry exists.
+          fillFromEntry(std::move(*options_.cache->peek(plan.keys[i])),
+                        specs[i], i, results[i]);
+        } else if (!results[i].fromCache) {
+          runOne(specs[i], i, options_, capture, results[i]);
+          insertEntry(*options_.cache, plan.keys[i], results[i], capture);
+        }
+      } else {
+        runOne(specs[i], i, options_, capture, results[i]);
       }
+      mergeOne(results[i], options_);
     }
+    if (options_.cache != nullptr)
+      emitCacheStats(*options_.cache, plan.before, options_.observer);
     return results;
   }
 
@@ -113,8 +219,9 @@ std::vector<ScenarioResult> Runner::run(
 
   auto worker = [&]() {
     while (!cancelled.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= plan.toRun.size()) return;
+      const std::size_t i = plan.toRun[k];
       try {
         runOne(specs[i], i, options_, capture, results[i]);
       } catch (...) {
@@ -136,7 +243,17 @@ std::vector<ScenarioResult> Runner::run(
   for (std::thread& t : pool) t.join();
 
   if (error) std::rethrow_exception(error);
+  if (options_.cache != nullptr) {
+    for (std::size_t i : plan.toRun)
+      insertEntry(*options_.cache, plan.keys[i], results[i], capture);
+    for (std::size_t i = 0; i < n; ++i)
+      if (plan.dupOf[i] != kRunFresh)
+        fillFromEntry(std::move(*options_.cache->peek(plan.keys[i])),
+                      specs[i], i, results[i]);
+  }
   mergeEvents(results, options_);
+  if (options_.cache != nullptr)
+    emitCacheStats(*options_.cache, plan.before, options_.observer);
   return results;
 }
 

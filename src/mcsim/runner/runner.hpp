@@ -38,6 +38,8 @@ class Workflow;
 
 namespace mcsim::runner {
 
+class ScenarioMemoCache;
+
 /// The worker-pool default: one job per hardware thread (never 0).
 int defaultJobs();
 
@@ -66,6 +68,10 @@ struct ScenarioResult {
   /// The scenario's full event stream, retained only when
   /// RunnerOptions::keepEvents is set.
   std::vector<obs::Event> events;
+  /// True if this scenario was served without simulating — from a
+  /// RunnerOptions::cache entry or by deduplicating against an identical
+  /// scenario earlier in the same batch.  Always false without a cache.
+  bool fromCache = false;
 };
 
 struct RunnerOptions {
@@ -81,6 +87,17 @@ struct RunnerOptions {
   obs::Sink* observer = nullptr;
   /// Retain each scenario's event stream in ScenarioResult::events.
   bool keepEvents = false;
+  /// Optional scenario memo cache (see runner/memo.hpp).  When set, each
+  /// scenario is fingerprinted over its workflow content and effective
+  /// engine config (base-seed override applied, capture shape included)
+  /// before anything runs; scenarios whose fingerprint is already cached —
+  /// or repeated within the batch — are served by replaying the stored
+  /// result and event stream, byte-identical to a fresh run.  Newly
+  /// simulated scenarios are inserted.  Borrowed; may be shared across
+  /// Runner instances and concurrent run() calls.  When `observer` is also
+  /// set, one obs::ScenarioCacheStats event is appended after the merged
+  /// streams.
+  ScenarioMemoCache* cache = nullptr;
 };
 
 class Runner {

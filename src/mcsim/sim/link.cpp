@@ -26,9 +26,12 @@ double completionThreshold(double totalBytes) {
 }
 }  // namespace
 
-Link::Link(Simulator& sim, double bandwidthBytesPerSecond, LinkSharing sharing)
-    : sim_(sim), bandwidth_(bandwidthBytesPerSecond), sharing_(sharing) {
-  if (!(bandwidthBytesPerSecond > 0.0))
+Link::Link(Simulator& sim, const LinkConfig& config)
+    : sim_(sim),
+      bandwidth_(config.bandwidthBytesPerSec),
+      sharing_(config.sharing),
+      reference_(config.schedule == LinkSchedule::Reference) {
+  if (!(config.bandwidthBytesPerSec > 0.0))
     throw std::invalid_argument("Link: bandwidth must be positive");
 }
 
@@ -43,20 +46,29 @@ Link::TransferId Link::startTransfer(Bytes size, CompletionHandler onComplete) {
     throw std::invalid_argument("Link::startTransfer: negative size");
   if (!onComplete)
     throw std::invalid_argument("Link::startTransfer: empty completion handler");
-  accrueProgress();
+  if (reference_)
+    accrueProgress();
+  else
+    advanceVirtualTime();
   const TransferId id = nextId_++;
-  active_.emplace(id, Transfer{size.value(), size.value(), sim_.now(),
-                               std::move(onComplete)});
+  const double bytes = size.value();
+  const double finishV = virtualBytes_ + bytes;
+  active_.emplace(
+      id, Transfer{bytes, bytes, finishV, sim_.now(), std::move(onComplete)});
+  if (!reference_) finishHeap_.push({finishV, id});
   if (observer_)
-    observer_->onEvent(obs::Event{
-        sim_.now(), obs::TransferStarted{id, size.value(), active_.size()}});
+    observer_->onEvent(
+        obs::Event{sim_.now(), obs::TransferStarted{id, bytes, active_.size()}});
   reschedule();
   return id;
 }
 
 void Link::suspend() {
   if (suspended_) return;
-  accrueProgress();
+  if (reference_)
+    accrueProgress();
+  else
+    advanceVirtualTime();
   suspended_ = true;
   if (observer_)
     observer_->onEvent(obs::Event{sim_.now(), obs::LinkSuspended{}});
@@ -72,6 +84,28 @@ void Link::resume() {
     observer_->onEvent(obs::Event{sim_.now(), obs::LinkResumed{}});
   reschedule();
 }
+
+void Link::emitShareChange(double rate) {
+  if (observer_ && rate != lastEmittedRate_) {
+    observer_->onEvent(
+        obs::Event{sim_.now(), obs::LinkShareChanged{active_.size(), rate}});
+    lastEmittedRate_ = rate;
+  }
+}
+
+void Link::onLinkEvent() {
+  pendingEvent_ = kInvalidEvent;
+  if (reference_) {
+    accrueProgress();
+    completeFinished();
+  } else {
+    advanceVirtualTime();
+    completeFinishedIncremental();
+  }
+  reschedule();
+}
+
+// -- Reference scheduler -----------------------------------------------------
 
 void Link::accrueProgress() {
   const double now = sim_.now();
@@ -109,37 +143,101 @@ void Link::completeFinished() {
   for (auto& handler : done) handler();
 }
 
+// -- Incremental scheduler ---------------------------------------------------
+
+void Link::advanceVirtualTime() {
+  const double now = sim_.now();
+  const double rate = perTransferRate();
+  if (rate > 0.0 && now > lastUpdate_) {
+    virtualBytes_ += rate * (now - lastUpdate_);
+    if (observer_ && observer_->accepts(obs::EventKind::TransferProgress))
+      for (const auto& [id, t] : active_)
+        observer_->onEvent(
+            obs::Event{now, obs::TransferProgress{id, t.finishV - virtualBytes_}});
+  }
+  lastUpdate_ = now;
+}
+
+bool Link::virtuallyComplete(const Transfer& t) const {
+  // The virtual clock accumulates every byte the link ever carried, so its
+  // rounding error is relative to virtualBytes_, not to the transfer size;
+  // fold it into the threshold so a finished transfer is never stranded by
+  // ulp-level residue on a long run.
+  const double threshold = std::max(completionThreshold(t.totalBytes),
+                                    kRelativeEpsilon * virtualBytes_);
+  return t.finishV - virtualBytes_ <= threshold;
+}
+
+void Link::completeFinishedIncremental() {
+  // Pop every finished transfer off the (finishV, id) heap, then fire the
+  // handlers in transfer-id order — the order the reference scheduler's
+  // id-ordered map scan produces.
+  std::vector<TransferId> doneIds;
+  while (!finishHeap_.empty()) {
+    const auto it = active_.find(finishHeap_.top().second);
+    if (!virtuallyComplete(it->second)) break;
+    doneIds.push_back(it->first);
+    finishHeap_.pop();
+  }
+  if (doneIds.empty()) return;
+  std::sort(doneIds.begin(), doneIds.end());
+  std::vector<CompletionHandler> done;
+  done.reserve(doneIds.size());
+  for (const TransferId id : doneIds) {
+    const auto it = active_.find(id);
+    completedBytes_ += it->second.totalBytes;
+    if (observer_)
+      observer_->onEvent(obs::Event{
+          sim_.now(), obs::TransferFinished{id, it->second.totalBytes,
+                                            sim_.now() - it->second.startTime}});
+    done.push_back(std::move(it->second.onComplete));
+    active_.erase(it);
+    ++completedCount_;
+  }
+  for (auto& handler : done) handler();
+}
+
+// -- Shared rescheduling -----------------------------------------------------
+
 void Link::reschedule() {
   if (pendingEvent_ != kInvalidEvent) {
     sim_.cancel(pendingEvent_);
     pendingEvent_ = kInvalidEvent;
   }
-  if (suspended_ || active_.empty()) return;
-
-  // Under fair share all transfers progress at the same rate, so the next
-  // completion is the one with the least remaining bytes.  Under dedicated
-  // the same selection applies (equal rates again).
-  double minRemaining = std::numeric_limits<double>::infinity();
-  bool anyComplete = false;
-  for (const auto& [id, t] : active_) {
-    minRemaining = std::min(minRemaining, t.remainingBytes);
-    anyComplete = anyComplete ||
-                  t.remainingBytes <= completionThreshold(t.totalBytes);
+  if (suspended_) return;
+  if (active_.empty()) {
+    // Idle link: rewind the virtual clock so precision never degrades over
+    // arbitrarily long runs (the heap is empty whenever active_ is).
+    virtualBytes_ = 0.0;
+    return;
   }
+
   const double rate = perTransferRate();
-  if (observer_ && rate != lastEmittedRate_) {
-    observer_->onEvent(obs::Event{
-        sim_.now(), obs::LinkShareChanged{active_.size(), rate}});
-    lastEmittedRate_ = rate;
+  double delay = 0.0;
+  if (reference_) {
+    // Under fair share all transfers progress at the same rate, so the next
+    // completion is the one with the least remaining bytes.  Under dedicated
+    // the same selection applies (equal rates again).
+    double minRemaining = std::numeric_limits<double>::infinity();
+    bool anyComplete = false;
+    for (const auto& [id, t] : active_) {
+      minRemaining = std::min(minRemaining, t.remainingBytes);
+      anyComplete =
+          anyComplete || t.remainingBytes <= completionThreshold(t.totalBytes);
+    }
+    emitShareChange(rate);
+    delay = anyComplete ? 0.0 : minRemaining / rate;
+  } else {
+    // The heap top is the least-remaining transfer: remaining bytes are
+    // finishV - V for every transfer, so finishV order is remaining order.
+    emitShareChange(rate);
+    const Transfer& top = active_.find(finishHeap_.top().second)->second;
+    delay = virtuallyComplete(top)
+                ? 0.0
+                : (top.finishV - virtualBytes_) / rate;
   }
-  const double delay = anyComplete ? 0.0 : minRemaining / rate;
 
-  pendingEvent_ = sim_.scheduleAfter(delay, [this] {
-    pendingEvent_ = kInvalidEvent;
-    accrueProgress();
-    completeFinished();
-    reschedule();
-  });
+  pendingEvent_ = sim_.scheduleAfter(delay, [this] { onLinkEvent(); });
 }
 
 }  // namespace mcsim::sim

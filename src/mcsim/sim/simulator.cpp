@@ -1,11 +1,94 @@
 #include "mcsim/sim/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "mcsim/obs/sink.hpp"
 
 namespace mcsim::sim {
+
+Simulator::Simulator(const SimulatorOptions& options)
+    : reference_(options.calendar == CalendarImpl::Reference) {
+  if (!reference_ && options.reserveEvents > 0) {
+    slots_.reserve(options.reserveEvents);
+    heap_.reserve(options.reserveEvents);
+    idSlot_.reserve(options.reserveEvents + 1);
+  }
+  if (!reference_) idSlot_.push_back(kNpos);  // index 0 = kInvalidEvent
+}
+
+// -- arena helpers -----------------------------------------------------------
+
+std::uint32_t Simulator::allocSlot() {
+  if (freeHead_ != kNpos) {
+    const std::uint32_t s = freeHead_;
+    freeHead_ = slots_[s].heapPos;
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::freeSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.callback.reset();
+  s.id = kInvalidEvent;
+  s.heapPos = freeHead_;
+  freeHead_ = slot;
+}
+
+bool Simulator::before(std::uint32_t a, std::uint32_t b) const {
+  const Slot& sa = slots_[a];
+  const Slot& sb = slots_[b];
+  if (sa.time != sb.time) return sa.time < sb.time;
+  return sa.sequence < sb.sequence;
+}
+
+std::size_t Simulator::siftUp(std::size_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heapPos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heapPos = static_cast<std::uint32_t>(pos);
+  return pos;
+}
+
+void Simulator::siftDown(std::size_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], moving)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos]].heapPos = static_cast<std::uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heapPos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::removeFromHeap(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  slots_[heap_[pos]].heapPos = static_cast<std::uint32_t>(pos);
+  heap_.pop_back();
+  // The filler came from the bottom: it may need to move either direction.
+  if (siftUp(pos) == pos) siftDown(pos);
+}
+
+// -- public API --------------------------------------------------------------
 
 EventId Simulator::schedule(double time, Callback cb) {
   if (time < now_)
@@ -14,11 +97,24 @@ EventId Simulator::schedule(double time, Callback cb) {
                                 std::to_string(now_) + ")");
   if (!cb) throw std::invalid_argument("Simulator::schedule: empty callback");
   const EventId id = nextId_++;
-  queue_.push(Event{time, nextSequence_++, id, std::move(cb)});
-  pending_.insert(id);
+  if (reference_) {
+    refQueue_.push(RefEvent{time, nextSequence_++, id,
+                            std::make_shared<EventFn>(std::move(cb))});
+    refPending_.insert(id);
+  } else {
+    const std::uint32_t s = allocSlot();
+    Slot& slot = slots_[s];
+    slot.time = time;
+    slot.sequence = nextSequence_++;
+    slot.id = id;
+    slot.callback = std::move(cb);
+    slot.heapPos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(s);
+    siftUp(heap_.size() - 1);
+    idSlot_.push_back(s);
+  }
   if (observer_)
-    observer_->onEvent(
-        obs::Event{now_, obs::SimEventScheduled{id, time}});
+    observer_->onEvent(obs::Event{now_, obs::SimEventScheduled{id, time}});
   return id;
 }
 
@@ -31,41 +127,80 @@ EventId Simulator::scheduleAfter(double delay, Callback cb) {
 bool Simulator::cancel(EventId id) {
   // Only a still-pending event can be cancelled; fired or unknown ids are
   // rejected so double-cancel and cancel-after-fire are harmless no-ops.
-  if (pending_.erase(id) == 0) return false;
+  if (reference_) {
+    if (refPending_.erase(id) == 0) return false;
+  } else {
+    if (id == kInvalidEvent || id >= nextId_) return false;
+    const std::uint32_t s = idSlot_[static_cast<std::size_t>(id)];
+    if (s == kNpos) return false;
+    removeFromHeap(slots_[s].heapPos);
+    idSlot_[static_cast<std::size_t>(id)] = kNpos;
+    freeSlot(s);
+  }
   if (observer_)
     observer_->onEvent(obs::Event{now_, obs::SimEventCancelled{id}});
   return true;
 }
 
-void Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (pending_.erase(ev.id) == 0) continue;  // was cancelled; drop lazily
+void Simulator::stepArena() {
+  const std::uint32_t s = heap_[0];
+  Slot& slot = slots_[s];
+  now_ = slot.time;
+  ++processed_;
+  const EventId id = slot.id;
+  // Move the callback out before releasing the slot: the callback may
+  // schedule new events, growing or reusing the arena underneath us.
+  EventFn fn = std::move(slot.callback);
+  removeFromHeap(0);
+  idSlot_[static_cast<std::size_t>(id)] = kNpos;
+  freeSlot(s);
+  if (observer_) observer_->onEvent(obs::Event{now_, obs::SimEventFired{id}});
+  fn();
+}
+
+void Simulator::stepReference() {
+  while (!refQueue_.empty()) {
+    RefEvent ev = refQueue_.top();
+    refQueue_.pop();
+    if (refPending_.erase(ev.id) == 0) continue;  // was cancelled; drop lazily
     now_ = ev.time;
     ++processed_;
     if (observer_)
       observer_->onEvent(obs::Event{now_, obs::SimEventFired{ev.id}});
-    ev.callback();
+    (*ev.callback)();
     return;
   }
 }
 
 void Simulator::run() {
-  while (!pending_.empty()) step();
+  if (reference_) {
+    while (!refPending_.empty()) stepReference();
+  } else {
+    while (!heap_.empty()) stepArena();
+  }
 }
 
 void Simulator::runUntil(double horizon) {
-  while (!pending_.empty()) {
-    // Skim cancelled events off the top so queue_.top() is live.
-    while (!queue_.empty() && pending_.count(queue_.top().id) == 0)
-      queue_.pop();
-    if (queue_.empty()) break;
-    if (queue_.top().time > horizon) {
-      now_ = horizon;
-      return;
+  if (reference_) {
+    while (!refPending_.empty()) {
+      // Skim cancelled events off the top so refQueue_.top() is live.
+      while (!refQueue_.empty() && refPending_.count(refQueue_.top().id) == 0)
+        refQueue_.pop();
+      if (refQueue_.empty()) break;
+      if (refQueue_.top().time > horizon) {
+        now_ = horizon;
+        return;
+      }
+      stepReference();
     }
-    step();
+  } else {
+    while (!heap_.empty()) {
+      if (slots_[heap_[0]].time > horizon) {
+        now_ = horizon;
+        return;
+      }
+      stepArena();
+    }
   }
 }
 

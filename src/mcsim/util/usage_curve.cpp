@@ -5,20 +5,28 @@
 
 namespace mcsim {
 
+void UsageCurve::append(double time, double delta) {
+  if (events_.empty()) {
+    lastTime_ = time;
+  } else if (time < events_.back().time) {
+    sorted_ = false;
+  } else if (sorted_ && time > lastTime_) {
+    // Same accumulation step the scanning integral performs: close the
+    // segment [lastTime_, time) at the pre-event level.
+    area_ += level_ * (time - lastTime_);
+    lastTime_ = time;
+  }
+  events_.push_back({time, delta});
+  level_ += delta;
+  if (sorted_ && level_ > peak_) peak_ = level_;
+}
+
 void UsageCurve::add(double time, Bytes amount) {
-  if (!events_.empty() && time < events_.back().time) sorted_ = false;
-  events_.push_back({time, amount.value()});
+  append(time, amount.value());
 }
 
 void UsageCurve::remove(double time, Bytes amount) {
-  if (!events_.empty() && time < events_.back().time) sorted_ = false;
-  events_.push_back({time, -amount.value()});
-}
-
-Bytes UsageCurve::current() const {
-  double level = 0.0;
-  for (const auto& e : events_) level += e.delta;
-  return Bytes(level);
+  append(time, -amount.value());
 }
 
 void UsageCurve::ensureSorted() const {
@@ -26,10 +34,12 @@ void UsageCurve::ensureSorted() const {
   auto* self = const_cast<UsageCurve*>(this);
   std::stable_sort(self->events_.begin(), self->events_.end(),
                    [](const UsageEvent& a, const UsageEvent& b) { return a.time < b.time; });
-  self->sorted_ = true;
+  // sorted_ stays false: it also marks the incremental accumulators
+  // (peak_/area_/lastTime_) as stale, so queries keep scanning.
 }
 
 Bytes UsageCurve::peak() const {
+  if (sorted_) return Bytes(peak_);
   ensureSorted();
   double level = 0.0;
   double best = 0.0;
@@ -40,7 +50,7 @@ Bytes UsageCurve::peak() const {
   return Bytes(best);
 }
 
-double UsageCurve::integralByteSeconds(double endTime) const {
+double UsageCurve::scanIntegral(double endTime) const {
   ensureSorted();
   double area = 0.0;
   double level = 0.0;
@@ -62,10 +72,23 @@ double UsageCurve::integralByteSeconds(double endTime) const {
   return area;
 }
 
+double UsageCurve::integralByteSeconds(double endTime) const {
+  if (events_.empty()) return scanIntegral(endTime);
+  if (sorted_ && endTime >= lastTime_) {
+    // O(1): the running area covers [first, lastTime_]; extend the final
+    // segment to the horizon, exactly as the scan's last step does.
+    double area = area_;
+    if (endTime > lastTime_) area += level_ * (endTime - lastTime_);
+    return area;
+  }
+  return scanIntegral(endTime);
+}
+
 double UsageCurve::integralByteSeconds() const {
   if (events_.empty()) return 0.0;
+  if (sorted_) return area_;
   ensureSorted();
-  return integralByteSeconds(events_.back().time);
+  return scanIntegral(events_.back().time);
 }
 
 double UsageCurve::integralGBHours(double endTime) const {

@@ -6,6 +6,14 @@
 // and then calculating the area under the curve."  `UsageCurve` is exactly
 // that curve: `add`/`remove` record step changes and `integral` computes the
 // area in byte-seconds.
+//
+// Storage layout: one flat vector of step events (the export format) plus
+// incremental running accumulators (level, peak, area, last event time)
+// maintained on every append.  While events arrive in non-decreasing time
+// order — the only order a simulation produces — every query is O(1) and
+// replays the exact floating-point accumulation sequence of a full scan, so
+// results are bit-identical to the scanning implementation.  Out-of-order
+// recording is still supported: it falls back to lazy sort + scan.
 #pragma once
 
 #include <cstddef>
@@ -32,7 +40,7 @@ class UsageCurve {
   void remove(double time, Bytes amount);
 
   /// Current level: sum of all recorded deltas (time-independent).
-  Bytes current() const;
+  Bytes current() const { return Bytes(level_); }
 
   /// Maximum level ever attained.  Zero for an empty curve.
   Bytes peak() const;
@@ -57,10 +65,21 @@ class UsageCurve {
   bool empty() const { return events_.empty(); }
 
  private:
+  void append(double time, double delta);
   void ensureSorted() const;
+  /// Full scan of the sorted event list (out-of-order fallback).
+  double scanIntegral(double endTime) const;
 
   std::vector<UsageEvent> events_;
   mutable bool sorted_ = true;
+
+  // Incremental accumulators, valid while events arrive in time order
+  // (sorted_ == true).  level_ tracks insertion order and is always valid —
+  // current() is order-independent.
+  double level_ = 0.0;
+  double peak_ = 0.0;
+  double area_ = 0.0;     ///< Area from the first event to lastTime_.
+  double lastTime_ = 0.0; ///< Time of the latest in-order event.
 };
 
 }  // namespace mcsim

@@ -71,7 +71,7 @@ TEST_F(StorageTest, NegativeSizeRejected) {
 }
 
 TEST_F(StorageTest, CapacityEnforced) {
-  StorageService s(sim, Bytes::fromMB(10.0));
+  StorageService s(sim, StorageConfig{.capacityBytes = Bytes::fromMB(10.0).value()});
   s.put(1, Bytes::fromMB(8.0));
   EXPECT_THROW(s.put(2, Bytes::fromMB(5.0)), std::runtime_error);
   // The failed put must not leak partial state.
@@ -83,8 +83,10 @@ TEST_F(StorageTest, CapacityEnforced) {
 }
 
 TEST_F(StorageTest, InvalidCapacityRejected) {
-  EXPECT_THROW(StorageService(sim, Bytes(0.0)), std::invalid_argument);
-  EXPECT_THROW(StorageService(sim, Bytes(-1.0)), std::invalid_argument);
+  EXPECT_THROW(StorageService(sim, StorageConfig{.capacityBytes = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(StorageService(sim, StorageConfig{.capacityBytes = -1.0}),
+               std::invalid_argument);
 }
 
 TEST_F(StorageTest, InfiniteCapacityByDefault) {

@@ -36,7 +36,9 @@ TEST(SimulatorEvents, ScheduleFireCancel) {
 TEST(LinkEvents, TransfersCarryDurationAndShare) {
   RingBufferSink ring(128);
   sim::Simulator sim;
-  sim::Link link(sim, 1000.0, sim::LinkSharing::FairShare);
+  sim::Link link(sim,
+                 sim::LinkConfig{.bandwidthBytesPerSec = 1000.0,
+                                 .sharing = sim::LinkSharing::FairShare});
   link.setObserver(&ring);
 
   link.startTransfer(Bytes(1000.0), [] {});
@@ -63,7 +65,9 @@ TEST(LinkEvents, ProgressOnlyWhenAccepted) {
   // that decline them are exercised via the accepts() gate in Link itself.
   RingBufferSink ring(256);
   sim::Simulator sim;
-  sim::Link link(sim, 1000.0, sim::LinkSharing::FairShare);
+  sim::Link link(sim,
+                 sim::LinkConfig{.bandwidthBytesPerSec = 1000.0,
+                                 .sharing = sim::LinkSharing::FairShare});
   link.setObserver(&ring);
 
   link.startTransfer(Bytes(500.0), [] {});
@@ -73,7 +77,9 @@ TEST(LinkEvents, ProgressOnlyWhenAccepted) {
 
   NullSink null;
   sim::Simulator sim2;
-  sim::Link link2(sim2, 1000.0, sim::LinkSharing::FairShare);
+  sim::Link link2(sim2,
+                  sim::LinkConfig{.bandwidthBytesPerSec = 1000.0,
+                                  .sharing = sim::LinkSharing::FairShare});
   link2.setObserver(&null);
   link2.startTransfer(Bytes(500.0), [] {});
   sim2.run();  // must not crash; NullSink declines everything

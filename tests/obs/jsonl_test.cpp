@@ -94,6 +94,7 @@ TEST(EventJson, EveryPayloadAlternativeSerializesToValidJson) {
       {0.0, StorageOutageStarted{}},
       {0.0, StorageOutageEnded{}},
       {0.0, DeadlineExceeded{5}},
+      {0.0, ScenarioCacheStats{3, 1, 4}},
   };
   ASSERT_EQ(one_of_each.size(), kEventKindCount);
   for (const Event& e : one_of_each) {

@@ -1,0 +1,86 @@
+// Compatibility coverage for the deprecated positional sim/cloud
+// constructors: each must keep behaving exactly like the config-struct
+// constructor it wraps until removal (see DESIGN.md deprecation schedule).
+// This file is the one place that intentionally calls them, so the
+// deprecation warnings are silenced here.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mcsim/cloud/storage.hpp"
+#include "mcsim/sim/link.hpp"
+#include "mcsim/sim/simulator.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace mcsim {
+namespace {
+
+/// Drive a small fair-share workload and record each completion time.
+std::vector<double> transferFinishTimes(sim::Simulator& simulator,
+                                        sim::Link& link) {
+  std::vector<double> times;
+  for (double bytes : {500.0, 1500.0, 1000.0})
+    link.startTransfer(Bytes(bytes),
+                       [&times, &simulator] { times.push_back(simulator.now()); });
+  simulator.run();
+  return times;
+}
+
+TEST(DeprecatedCtors, PositionalLinkMatchesConfigCtor) {
+  sim::Simulator legacySim;
+  sim::Link legacy(legacySim, 100.0, sim::LinkSharing::FairShare);
+  const auto legacyTimes = transferFinishTimes(legacySim, legacy);
+
+  sim::Simulator currentSim;
+  sim::Link current(currentSim,
+                    sim::LinkConfig{.bandwidthBytesPerSec = 100.0,
+                                    .sharing = sim::LinkSharing::FairShare});
+  const auto currentTimes = transferFinishTimes(currentSim, current);
+
+  EXPECT_EQ(legacyTimes, currentTimes);
+  EXPECT_EQ(legacy.sharing(), current.sharing());
+  EXPECT_EQ(legacy.schedule(), current.schedule());
+}
+
+TEST(DeprecatedCtors, PositionalLinkDefaultsToFairShare) {
+  sim::Simulator simulator;
+  sim::Link link(simulator, 100.0);
+  EXPECT_EQ(link.sharing(), sim::LinkSharing::FairShare);
+  EXPECT_EQ(link.schedule(), sim::LinkSchedule::Incremental);
+}
+
+TEST(DeprecatedCtors, PositionalLinkValidatesLikeConfigCtor) {
+  sim::Simulator simulator;
+  EXPECT_THROW(sim::Link(simulator, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim::Link(simulator, -1.0), std::invalid_argument);
+}
+
+TEST(DeprecatedCtors, BytesCapacityStorageMatchesConfigCtor) {
+  sim::Simulator legacySim;
+  cloud::StorageService legacy(legacySim, Bytes::fromMB(10.0));
+  sim::Simulator currentSim;
+  cloud::StorageService current(
+      currentSim,
+      cloud::StorageConfig{.capacityBytes = Bytes::fromMB(10.0).value()});
+
+  for (cloud::StorageService* s : {&legacy, &current}) {
+    s->put(1, Bytes::fromMB(8.0));
+    EXPECT_THROW(s->put(2, Bytes::fromMB(5.0)), std::runtime_error);
+    EXPECT_DOUBLE_EQ(s->residentBytes().mb(), 8.0);
+  }
+}
+
+TEST(DeprecatedCtors, BytesCapacityStorageValidatesLikeConfigCtor) {
+  sim::Simulator simulator;
+  EXPECT_THROW(cloud::StorageService(simulator, Bytes(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(cloud::StorageService(simulator, Bytes(-1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcsim

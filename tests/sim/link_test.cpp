@@ -14,7 +14,7 @@ class LinkTest : public ::testing::Test {
 };
 
 TEST_F(LinkTest, SingleTransferTakesSizeOverBandwidth) {
-  Link link(sim, 100.0);  // 100 B/s
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});  // 100 B/s
   double done = -1.0;
   link.startTransfer(Bytes(500.0), [&] { done = sim.now(); });
   sim.run();
@@ -25,7 +25,8 @@ TEST_F(LinkTest, SingleTransferTakesSizeOverBandwidth) {
 }
 
 TEST_F(LinkTest, FairShareTwoEqualTransfersFinishTogether) {
-  Link link(sim, 100.0, LinkSharing::FairShare);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0,
+                            .sharing = LinkSharing::FairShare});
   std::vector<double> done;
   link.startTransfer(Bytes(500.0), [&] { done.push_back(sim.now()); });
   link.startTransfer(Bytes(500.0), [&] { done.push_back(sim.now()); });
@@ -39,7 +40,7 @@ TEST_F(LinkTest, FairShareTwoEqualTransfersFinishTogether) {
 TEST_F(LinkTest, FairShareBatchTimeEqualsTotalOverBandwidth) {
   // The stage-in property the engine relies on: N concurrent files take
   // sum(sizes)/B regardless of how sizes are distributed.
-  Link link(sim, 1000.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 1000.0});
   double lastDone = 0.0;
   double total = 0.0;
   for (double size : {100.0, 900.0, 2500.0, 1500.0}) {
@@ -54,7 +55,7 @@ TEST_F(LinkTest, FairShareUnequalSizesAnalytic) {
   // 300 B and 900 B at 100 B/s sharing fairly:
   //   phase 1: both at 50 B/s; small one finishes at t = 300/50 = 6
   //   phase 2: big one has 900-300=600 left at 100 B/s: t = 6 + 6 = 12.
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double small = -1.0, big = -1.0;
   link.startTransfer(Bytes(300.0), [&] { small = sim.now(); });
   link.startTransfer(Bytes(900.0), [&] { big = sim.now(); });
@@ -66,7 +67,7 @@ TEST_F(LinkTest, FairShareUnequalSizesAnalytic) {
 TEST_F(LinkTest, LateArrivalSharesRemaining) {
   // t=0: A(1000) alone at 100 B/s.  t=5: A has 500 left; B(500) arrives.
   // Both at 50 B/s: A finishes at 5 + 10 = 15, B at 5 + 10 = 15.
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double aDone = -1.0, bDone = -1.0;
   link.startTransfer(Bytes(1000.0), [&] { aDone = sim.now(); });
   sim.schedule(5.0, [&] {
@@ -78,7 +79,8 @@ TEST_F(LinkTest, LateArrivalSharesRemaining) {
 }
 
 TEST_F(LinkTest, DedicatedTransfersDoNotContend) {
-  Link link(sim, 100.0, LinkSharing::Dedicated);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0,
+                            .sharing = LinkSharing::Dedicated});
   std::vector<double> done;
   link.startTransfer(Bytes(500.0), [&] { done.push_back(sim.now()); });
   link.startTransfer(Bytes(1000.0), [&] { done.push_back(sim.now()); });
@@ -89,7 +91,7 @@ TEST_F(LinkTest, DedicatedTransfersDoNotContend) {
 }
 
 TEST_F(LinkTest, ZeroByteTransferCompletesImmediately) {
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double done = -1.0;
   link.startTransfer(Bytes(0.0), [&] { done = sim.now(); });
   sim.run();
@@ -97,7 +99,7 @@ TEST_F(LinkTest, ZeroByteTransferCompletesImmediately) {
 }
 
 TEST_F(LinkTest, CompletionHandlerMayStartNextTransfer) {
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double secondDone = -1.0;
   link.startTransfer(Bytes(100.0), [&] {
     link.startTransfer(Bytes(200.0), [&] { secondDone = sim.now(); });
@@ -108,7 +110,7 @@ TEST_F(LinkTest, CompletionHandlerMayStartNextTransfer) {
 }
 
 TEST_F(LinkTest, SuspendStopsProgress) {
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double done = -1.0;
   link.startTransfer(Bytes(1000.0), [&] { done = sim.now(); });
   // Outage [4, 7): 3 seconds of no progress; completes at 10 + 3 = 13.
@@ -119,7 +121,7 @@ TEST_F(LinkTest, SuspendStopsProgress) {
 }
 
 TEST_F(LinkTest, SuspendResumeIdempotent) {
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double done = -1.0;
   link.startTransfer(Bytes(100.0), [&] { done = sim.now(); });
   sim.schedule(0.5, [&] {
@@ -137,7 +139,7 @@ TEST_F(LinkTest, SuspendResumeIdempotent) {
 }
 
 TEST_F(LinkTest, TransferStartedWhileSuspendedWaits) {
-  Link link(sim, 100.0);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   double done = -1.0;
   link.suspend();
   link.startTransfer(Bytes(100.0), [&] { done = sim.now(); });
@@ -147,15 +149,17 @@ TEST_F(LinkTest, TransferStartedWhileSuspendedWaits) {
 }
 
 TEST_F(LinkTest, InvalidArgumentsRejected) {
-  EXPECT_THROW(Link(sim, 0.0), std::invalid_argument);
-  EXPECT_THROW(Link(sim, -5.0), std::invalid_argument);
-  Link link(sim, 100.0);
+  EXPECT_THROW(Link(sim, LinkConfig{.bandwidthBytesPerSec = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, LinkConfig{.bandwidthBytesPerSec = -5.0}),
+               std::invalid_argument);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 100.0});
   EXPECT_THROW(link.startTransfer(Bytes(-1.0), [] {}), std::invalid_argument);
   EXPECT_THROW(link.startTransfer(Bytes(1.0), nullptr), std::invalid_argument);
 }
 
 TEST_F(LinkTest, ManyConcurrentTransfersConserveBytes) {
-  Link link(sim, 1.25e6);
+  Link link(sim, LinkConfig{.bandwidthBytesPerSec = 1.25e6});
   const int n = 200;
   int completed = 0;
   double totalBytes = 0.0;

@@ -14,22 +14,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "mcsim/analysis/experiments.hpp"
-#include "mcsim/analysis/reliability.hpp"
-#include "mcsim/analysis/report.hpp"
-#include "mcsim/dag/algorithms.hpp"
-#include "mcsim/dag/dax.hpp"
-#include "mcsim/dag/stats.hpp"
-#include "mcsim/engine/engine.hpp"
-#include "mcsim/engine/trace.hpp"
-#include "mcsim/engine/trace_export.hpp"
-#include "mcsim/faults/faults.hpp"
-#include "mcsim/montage/factory.hpp"
-#include "mcsim/obs/telemetry.hpp"
-#include "mcsim/runner/runner.hpp"
-#include "mcsim/util/args.hpp"
-#include "mcsim/util/log.hpp"
-#include "mcsim/workflows/gallery.hpp"
+#include "mcsim/mcsim.hpp"
 
 namespace {
 
@@ -45,6 +30,7 @@ commands:
   ccr       Fig-11 style CCR sweep
   reliability  cost vs. processor MTBF across the three data modes
   dax       write the workflow as a DAX XML file
+  version   print version, git SHA and build type (also --version)
 
 common options:
   --workflow <spec>   montage:<degrees> | cybershake | epigenomics |
@@ -319,6 +305,10 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     if (command == "--help" || command == "help") {
       std::cout << kUsage;
+      return 0;
+    }
+    if (command == "--version" || command == "version") {
+      std::cout << versionString() << "\n";
       return 0;
     }
     ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
