@@ -118,6 +118,8 @@ void Workflow::finalize() {
     parentSets[child].insert(parent);
 
   for (Task& t : tasks_) {
+    // mcsim-lint: allow(unordered-iter) — hash order never escapes: the
+    // parent list is sorted immediately below.
     t.parents.assign(parentSets[t.id].begin(), parentSets[t.id].end());
     std::sort(t.parents.begin(), t.parents.end());
     t.children.clear();

@@ -4,7 +4,8 @@
 //
 // pulls in every layer, bottom-up:
 //
-//   util/      units, tables, CSV, logging, RNG, usage curves, CLI args
+//   util/      units, tables, CSV, logging, RNG, usage curves, contracts,
+//              CLI args
 //   obs/       typed telemetry events, sinks, JSONL/metrics/report exporters
 //   sim/       the deterministic event calendar, shared link, processor pool
 //   dag/       workflows, DAX import, DAG algorithms, cleanup analysis
@@ -24,6 +25,7 @@
 #include "mcsim/version.hpp"
 
 #include "mcsim/util/args.hpp"
+#include "mcsim/util/contract.hpp"
 #include "mcsim/util/csv.hpp"
 #include "mcsim/util/log.hpp"
 #include "mcsim/util/rng.hpp"

@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mcsim/cloud/pricing.hpp"
@@ -110,12 +110,14 @@ class ReportBuilder final : public Sink {
                   cloud::BillingGranularity granularity =
                       cloud::BillingGranularity::PerSecond) const;
 
-  const std::unordered_map<std::uint32_t, ResourceUsage>& usage() const {
+  const std::map<std::uint32_t, ResourceUsage>& usage() const {
     return usage_;
   }
 
  private:
-  std::unordered_map<std::uint32_t, ResourceUsage> usage_;
+  /// Ordered by task id so attribution iterates — and sums floating-point
+  /// costs — in a stable order on every platform.
+  std::map<std::uint32_t, ResourceUsage> usage_;
 };
 
 /// report.json: schema "mcsim.report.v1" (documented in DESIGN.md).

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "mcsim/dag/workflow.hpp"
+#include "mcsim/util/contract.hpp"
 
 namespace mcsim::runner {
 namespace {
@@ -170,6 +171,15 @@ bool ScenarioMemoCache::contains(std::uint64_t key) const {
 
 void ScenarioMemoCache::insert(std::uint64_t key, Entry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Fingerprint stability: re-running a memoized scenario must reproduce the
+  // cached result.  A mismatch here means either the fingerprint missed a
+  // config field (two scenarios collided) or the engine went nondeterministic.
+  const auto it = entries_.find(key);
+  MCSIM_ASSERT(it == entries_.end() ||
+                   (it->second.result.makespanSeconds ==
+                        entry.result.makespanSeconds &&
+                    it->second.events.size() == entry.events.size()),
+               "memo key ", key, " re-inserted with a different result");
   entries_[key] = std::move(entry);
 }
 

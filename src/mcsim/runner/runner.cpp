@@ -103,6 +103,9 @@ CachePlan planAgainstCache(const std::vector<ScenarioSpec>& specs,
   plan.dupOf.assign(n, kRunFresh);
   // Workflow fingerprints are content hashes; memoize per pointer since
   // sweeps share one workflow across hundreds of scenarios.
+  // mcsim-lint: allow(ptr-key) — identity-keyed amortization cache (one
+  // fingerprint per distinct Workflow object); looked up only, never
+  // iterated, so address order cannot reach any output.
   std::unordered_map<const dag::Workflow*, std::uint64_t> workflowFp;
   std::unordered_map<std::uint64_t, std::size_t> repByKey;
   for (std::size_t i = 0; i < n; ++i) {

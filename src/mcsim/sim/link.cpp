@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mcsim/obs/sink.hpp"
+#include "mcsim/util/contract.hpp"
 
 namespace mcsim::sim {
 namespace {
@@ -147,6 +148,8 @@ void Link::completeFinished() {
 
 void Link::advanceVirtualTime() {
   const double now = sim_.now();
+  MCSIM_EXPECTS(now >= lastUpdate_, "link virtual clock ran backwards: now=",
+                now, " lastUpdate=", lastUpdate_);
   const double rate = perTransferRate();
   if (rate > 0.0 && now > lastUpdate_) {
     virtualBytes_ += rate * (now - lastUpdate_);
@@ -175,6 +178,8 @@ void Link::completeFinishedIncremental() {
   std::vector<TransferId> doneIds;
   while (!finishHeap_.empty()) {
     const auto it = active_.find(finishHeap_.top().second);
+    MCSIM_ASSERT(it != active_.end(), "finish heap holds transfer ",
+                 finishHeap_.top().second, " with no active record");
     if (!virtuallyComplete(it->second)) break;
     doneIds.push_back(it->first);
     finishHeap_.pop();
@@ -237,6 +242,7 @@ void Link::reschedule() {
                 : (top.finishV - virtualBytes_) / rate;
   }
 
+  MCSIM_ENSURES(delay >= 0.0, "negative reschedule delay ", delay);
   pendingEvent_ = sim_.scheduleAfter(delay, [this] { onLinkEvent(); });
 }
 

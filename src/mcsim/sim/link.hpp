@@ -64,6 +64,9 @@ struct LinkConfig {
 class Link {
  public:
   using TransferId = std::uint64_t;
+  // mcsim-lint: allow(sim-std-function) — boundary API invoked once per
+  // transfer (not per calendar event); engine handlers outgrow EventFn's
+  // inline budget and transfers are orders of magnitude rarer than events.
   using CompletionHandler = std::function<void()>;
 
   Link(Simulator& sim, const LinkConfig& config);

@@ -20,6 +20,8 @@ namespace mcsim::sim {
 
 class ProcessorPool {
  public:
+  // mcsim-lint: allow(sim-std-function) — boundary API invoked once per
+  // processor grant (per task attempt, not per calendar event).
   using GrantHandler = std::function<void()>;
 
   ProcessorPool(Simulator& sim, int processorCount);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mcsim/obs/sink.hpp"
+#include "mcsim/util/contract.hpp"
 
 namespace mcsim::sim {
 
@@ -76,6 +77,10 @@ void Simulator::siftDown(std::size_t pos) {
 }
 
 void Simulator::removeFromHeap(std::size_t pos) {
+  MCSIM_EXPECTS(pos < heap_.size(), "heap position ", pos, " out of range (",
+                heap_.size(), " pending)");
+  MCSIM_EXPECTS(slots_[heap_[pos]].heapPos == pos,
+                "slot/heap index mismatch at position ", pos);
   const std::size_t last = heap_.size() - 1;
   if (pos == last) {
     heap_.pop_back();
@@ -98,8 +103,10 @@ EventId Simulator::schedule(double time, Callback cb) {
   if (!cb) throw std::invalid_argument("Simulator::schedule: empty callback");
   const EventId id = nextId_++;
   if (reference_) {
-    refQueue_.push(RefEvent{time, nextSequence_++, id,
-                            std::make_shared<EventFn>(std::move(cb))});
+    // mcsim-lint: allow(sim-heap-alloc) — the reference calendar keeps the
+    // legacy one-allocation-per-event behaviour for differential testing.
+    auto callback = std::make_shared<EventFn>(std::move(cb));
+    refQueue_.push(RefEvent{time, nextSequence_++, id, std::move(callback)});
     refPending_.insert(id);
   } else {
     const std::uint32_t s = allocSlot();
@@ -133,6 +140,8 @@ bool Simulator::cancel(EventId id) {
     if (id == kInvalidEvent || id >= nextId_) return false;
     const std::uint32_t s = idSlot_[static_cast<std::size_t>(id)];
     if (s == kNpos) return false;
+    MCSIM_ASSERT(heap_[slots_[s].heapPos] == s, "cancel(", id,
+                 "): slot ", s, " not found at its recorded heap position");
     removeFromHeap(slots_[s].heapPos);
     idSlot_[static_cast<std::size_t>(id)] = kNpos;
     freeSlot(s);
@@ -145,6 +154,10 @@ bool Simulator::cancel(EventId id) {
 void Simulator::stepArena() {
   const std::uint32_t s = heap_[0];
   Slot& slot = slots_[s];
+  MCSIM_ASSERT(slot.heapPos == 0, "heap top slot ", s,
+               " believes it sits at position ", slot.heapPos);
+  MCSIM_ASSERT(slot.time >= now_, "calendar went backwards: event at ",
+               slot.time, " fired with now=", now_);
   now_ = slot.time;
   ++processed_;
   const EventId id = slot.id;

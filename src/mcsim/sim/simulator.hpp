@@ -61,6 +61,8 @@ class EventFn {
             typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
                                         std::is_invocable_r_v<void, D&>>>
   EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    // mcsim-lint: allow(sim-std-function) — compile-time detection of the
+    // legacy callable type so empty handlers convert to empty EventFns.
     if constexpr (std::is_same_v<D, std::function<void()>>) {
       if (!f) return;  // wrap an empty std::function as an empty EventFn
     }
@@ -71,6 +73,8 @@ class EventFn {
       ::new (storage()) D(std::forward<F>(f));
       ops_ = &kInlineOps<D>;
     } else {
+      // mcsim-lint: allow(sim-heap-alloc) — fallback for captures over
+      // kInlineBytes; the engine's event lambdas all fit inline.
       ::new (storage()) D*(new D(std::forward<F>(f)));
       ops_ = &kHeapOps<D>;
     }

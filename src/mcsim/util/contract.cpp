@@ -1,0 +1,51 @@
+#include "mcsim/util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcsim/util/log.hpp"
+
+namespace mcsim::contract {
+namespace {
+Handler g_handler = nullptr;
+
+std::string describe(const Violation& v) {
+  std::string out = "contract violation (";
+  out += v.kind;
+  out += ") at ";
+  out += v.file;
+  out += ':';
+  out += std::to_string(v.line);
+  out += ": ";
+  out += v.condition;
+  if (!v.message.empty()) {
+    out += " — ";
+    out += v.message;
+  }
+  return out;
+}
+}  // namespace
+
+Handler setContractFailureHandler(Handler handler) {
+  Handler previous = g_handler;
+  g_handler = handler;
+  return previous;
+}
+
+void fail(const char* kind, const char* condition, const char* file, int line,
+          const std::string& message) {
+  const Violation v{kind, condition, file, line, message};
+  const std::string text = describe(v);
+  // Through the obs log sink when one is installed (so the violation lands in
+  // the run's JSONL stream next to the events that led to it)...
+  logMessage(LogLevel::Error, text);
+  // ...and unconditionally on stderr: if the sink buffers and we abort, the
+  // message must still be visible.
+  if (logSink() != nullptr) std::fprintf(stderr, "mcsim: %s\n", text.c_str());
+  if (g_handler != nullptr) g_handler(v);
+  // Reached with no handler installed, or with one that returned normally: a
+  // violated contract never continues execution.
+  std::abort();
+}
+
+}  // namespace mcsim::contract

@@ -1,0 +1,94 @@
+// Contracts — machine-checked invariants for the determinism-critical core.
+//
+// Three macros, one per contract kind:
+//
+//   MCSIM_EXPECTS(cond, ...)  precondition  (caller handed us bad state)
+//   MCSIM_ENSURES(cond, ...)  postcondition (we are about to hand back bad
+//                             state)
+//   MCSIM_ASSERT(cond, ...)   internal invariant (our own bookkeeping broke)
+//
+// Each takes the condition plus optional streamed message fragments:
+//
+//   MCSIM_ASSERT(heap_[slot.heapPos] == s, "slot ", s, " lost its heap slot");
+//
+// Gating: the macros compile to real checks only when MCSIM_ENABLE_CONTRACTS
+// is defined non-zero (the MCSIM_CONTRACTS CMake option; AUTO enables it for
+// Debug builds).  Disabled, they expand to an unevaluated sizeof so the
+// condition still has to compile (and variables it names stay "used") but
+// costs nothing at runtime — safe on the event hot path.
+//
+// Failure path: the violation is formatted once, routed through the
+// mcsim::logMessage path (so it lands in the same obs log sink / JSONL
+// stream as everything else, when one is installed), also written to stderr,
+// and then the process aborts.  Tests substitute the terminal step with
+// setContractFailureHandler to observe violations without dying.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcsim::contract {
+
+/// Everything known about one failed contract check.
+struct Violation {
+  const char* kind = "";  ///< "expects" | "ensures" | "assert".
+  const char* condition = "";
+  const char* file = "";
+  int line = 0;
+  std::string message;  ///< Optional caller-supplied context ("" if none).
+};
+
+/// What happens after the violation is logged.  The default handler aborts;
+/// a test handler may throw instead.  If a handler returns normally the
+/// process still aborts — a violated contract never continues execution.
+using Handler = void (*)(const Violation&);
+
+/// Install `handler` (nullptr restores the default).  Returns the previous
+/// handler.  Not thread-safe; intended for test setup.
+Handler setContractFailureHandler(Handler handler);
+
+/// Log the violation (obs log sink if installed, stderr always), invoke the
+/// handler, and abort if the handler returns.
+void fail(const char* kind, const char* condition, const char* file, int line,
+          const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <class T, class... Rest>
+void append(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  append(os, rest...);
+}
+template <class... Args>
+std::string format(const Args&... args) {
+  std::ostringstream os;
+  append(os, args...);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace mcsim::contract
+
+#ifndef MCSIM_ENABLE_CONTRACTS
+#define MCSIM_ENABLE_CONTRACTS 0
+#endif
+
+#if MCSIM_ENABLE_CONTRACTS
+#define MCSIM_CONTRACT_CHECK_(kind, cond, ...)                               \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::mcsim::contract::fail(                                         \
+                kind, #cond, __FILE__, __LINE__,                             \
+                ::mcsim::contract::detail::format(__VA_ARGS__)))
+#else
+// Unevaluated: the condition must still compile, so contracts cannot rot in
+// Release builds, but no code is generated.
+#define MCSIM_CONTRACT_CHECK_(kind, cond, ...)                               \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif
+
+#define MCSIM_EXPECTS(cond, ...) \
+  MCSIM_CONTRACT_CHECK_("expects", cond, __VA_ARGS__)
+#define MCSIM_ENSURES(cond, ...) \
+  MCSIM_CONTRACT_CHECK_("ensures", cond, __VA_ARGS__)
+#define MCSIM_ASSERT(cond, ...) \
+  MCSIM_CONTRACT_CHECK_("assert", cond, __VA_ARGS__)

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mcsim/util/contract.hpp"
+
 namespace mcsim {
 
 void UsageCurve::append(double time, double delta) {
+  MCSIM_EXPECTS(std::isfinite(time) && std::isfinite(delta),
+                "non-finite usage event (t=", time, ", delta=", delta, ")");
   if (events_.empty()) {
     lastTime_ = time;
   } else if (time < events_.back().time) {
@@ -22,10 +26,14 @@ void UsageCurve::append(double time, double delta) {
 }
 
 void UsageCurve::add(double time, Bytes amount) {
+  MCSIM_EXPECTS(amount.value() >= 0.0, "negative add of ", amount.value(),
+                " bytes — use remove()");
   append(time, amount.value());
 }
 
 void UsageCurve::remove(double time, Bytes amount) {
+  MCSIM_EXPECTS(amount.value() >= 0.0, "negative remove of ", amount.value(),
+                " bytes — use add()");
   append(time, -amount.value());
 }
 
@@ -77,6 +85,9 @@ double UsageCurve::integralByteSeconds(double endTime) const {
   if (sorted_ && endTime >= lastTime_) {
     // O(1): the running area covers [first, lastTime_]; extend the final
     // segment to the horizon, exactly as the scan's last step does.
+    MCSIM_ASSERT(lastTime_ == events_.back().time,
+                 "incremental accumulator out of step: lastTime_=", lastTime_,
+                 " but newest event is at ", events_.back().time);
     double area = area_;
     if (endTime > lastTime_) area += level_ * (endTime - lastTime_);
     return area;

@@ -1,0 +1,20 @@
+// Seeded container hazards: hash-order iteration feeding a result, and a
+// pointer-keyed ordered map.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace lintfix {
+
+struct Registry {
+  std::unordered_map<std::string, int> counts_;
+  std::map<const Registry*, int> owners_;  // line 11: ptr-key
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [key, value] : counts_) sum += value;  // line 15
+    return sum;
+  }
+};
+
+}  // namespace lintfix

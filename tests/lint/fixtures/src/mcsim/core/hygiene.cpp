@@ -1,0 +1,11 @@
+// Seeded hygiene violations: the umbrella include inside src/mcsim/ and a
+// deprecated-declaration warning suppression outside tests/.
+#include "mcsim/mcsim.hpp"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace lintfix {
+
+int answer() { return 42; }
+
+}  // namespace lintfix

@@ -1,0 +1,23 @@
+// Seeded nondeterminism sources: libc RNG, wall-clock reads.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace lintfix {
+
+int roll() {
+  return std::rand();  // line 9: no-rand
+}
+
+long stamp() {
+  return time(nullptr);  // line 13: no-wallclock
+}
+
+double wall() {
+  auto wallNow = std::chrono::system_clock::now();    // line 17: no-wallclock
+  auto monoNow = std::chrono::steady_clock::now();    // line 18: no-wallclock
+  return std::chrono::duration<double>(wallNow.time_since_epoch()).count() +
+         std::chrono::duration<double>(monoNow.time_since_epoch()).count();
+}
+
+}  // namespace lintfix

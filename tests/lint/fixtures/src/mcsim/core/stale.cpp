@@ -1,0 +1,11 @@
+// Seeded suppression problems: a stale allow() that suppresses nothing and
+// an allow() naming a rule that does not exist.
+namespace lintfix {
+
+// mcsim-lint: allow(no-rand) — stale: nothing below calls rand
+int pure() { return 4; }
+
+// mcsim-lint: allow(not-a-rule)
+int two() { return 2; }
+
+}  // namespace lintfix

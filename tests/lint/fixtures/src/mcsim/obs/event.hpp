@@ -1,0 +1,24 @@
+// Seeded taxonomy drift: the enum has three kinds but kEventKindCount says
+// two, and the sink/jsonl fixtures below forget LinkDown.  Expected findings
+// live in tests/lint/lint_test.cpp (kExpectedFixtureFindings).
+#pragma once
+
+#include <variant>
+
+namespace lintfix::obs {
+
+struct TaskStarted {
+  int id = 0;
+};
+struct TaskFinished {
+  int id = 0;
+};
+struct LinkDown {};
+
+enum class EventKind { TaskStarted, TaskFinished, LinkDown };
+
+inline constexpr int kEventKindCount = 2;  // drift: enum has 3 enumerators
+
+using Payload = std::variant<TaskStarted, TaskFinished, LinkDown>;
+
+}  // namespace lintfix::obs

@@ -1,0 +1,12 @@
+// Seeded taxonomy drift: the Writer visitor forgets the LinkDown payload.
+#include "mcsim/obs/event.hpp"
+
+namespace lintfix::obs {
+
+struct Writer {
+  void operator()(const TaskStarted& e) { last = e.id; }
+  void operator()(const TaskFinished& e) { last = e.id; }
+  int last = 0;
+};
+
+}  // namespace lintfix::obs

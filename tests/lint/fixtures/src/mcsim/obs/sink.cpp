@@ -1,0 +1,16 @@
+// Seeded taxonomy drift: eventName() forgets EventKind::LinkDown.
+#include "mcsim/obs/event.hpp"
+
+namespace lintfix::obs {
+
+const char* eventName(EventKind kind) {
+  switch (kind) {
+    case EventKind::TaskStarted:
+      return "task_started";
+    case EventKind::TaskFinished:
+      return "task_finished";
+  }
+  return "unknown";
+}
+
+}  // namespace lintfix::obs

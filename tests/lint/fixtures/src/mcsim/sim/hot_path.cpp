@@ -1,0 +1,23 @@
+// Seeded hot-path violations: std::function storage and per-event heap
+// allocations inside src/mcsim/sim/, plus one justified (suppressed) case.
+#include <functional>
+#include <memory>
+
+namespace lintfix::sim {
+
+struct Engine {
+  std::function<void()> callback;  // line 9: sim-std-function
+
+  void schedule() {
+    auto shared = std::make_shared<int>(7);  // line 12: sim-heap-alloc
+    int* raw = new int(3);                   // line 13: sim-heap-alloc
+    delete raw;
+    *shared += 1;
+    // mcsim-lint: allow(sim-heap-alloc) — fixture: a justified allocation
+    // that the suppression machinery must swallow (and count as used).
+    auto owned = std::make_unique<int>(9);
+    *owned += 1;
+  }
+};
+
+}  // namespace lintfix::sim

@@ -1,0 +1,262 @@
+// mcsim-lint behaviour tests: the seeded-violation fixture tree must produce
+// exactly the golden findings, suppressions must cover (and only cover) their
+// target lines, and the JSON output must stay machine-readable.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mcsim::lint::Diagnostic;
+using mcsim::lint::FileContent;
+using mcsim::lint::Options;
+using mcsim::lint::lintFiles;
+using mcsim::lint::lintTree;
+using mcsim::lint::stripSource;
+using mcsim::lint::toJson;
+
+// -- fixture tree (golden findings) ------------------------------------------
+
+struct Expected {
+  const char* file;
+  int line;
+  const char* rule;
+};
+
+// One entry per seeded violation in tests/lint/fixtures/.  Sorted the way
+// the linter sorts (file, then line) so a mismatch diffs cleanly.
+constexpr Expected kExpectedFixtureFindings[] = {
+    {"src/mcsim/core/containers.cpp", 11, "ptr-key"},
+    {"src/mcsim/core/containers.cpp", 15, "unordered-iter"},
+    {"src/mcsim/core/hygiene.cpp", 3, "include-hygiene"},
+    {"src/mcsim/core/hygiene.cpp", 5, "deprecated-compat"},
+    {"src/mcsim/core/nondet.cpp", 9, "no-rand"},
+    {"src/mcsim/core/nondet.cpp", 13, "no-wallclock"},
+    {"src/mcsim/core/nondet.cpp", 17, "no-wallclock"},
+    {"src/mcsim/core/nondet.cpp", 18, "no-wallclock"},
+    {"src/mcsim/core/stale.cpp", 5, "unused-suppression"},
+    {"src/mcsim/core/stale.cpp", 8, "unused-suppression"},
+    {"src/mcsim/obs/event.hpp", 20, "event-taxonomy"},
+    {"src/mcsim/obs/jsonl.cpp", 6, "event-taxonomy"},
+    {"src/mcsim/obs/sink.cpp", 6, "event-taxonomy"},
+    {"src/mcsim/sim/hot_path.cpp", 9, "sim-std-function"},
+    {"src/mcsim/sim/hot_path.cpp", 12, "sim-heap-alloc"},
+    {"src/mcsim/sim/hot_path.cpp", 13, "sim-heap-alloc"},
+};
+
+std::vector<Diagnostic> lintFixtures() {
+  std::string error;
+  auto diags = lintTree(MCSIM_LINT_FIXTURES_DIR, {}, Options{}, &error);
+  EXPECT_EQ(error, "");
+  return diags;
+}
+
+TEST(LintFixtures, GoldenFindings) {
+  const auto diags = lintFixtures();
+  ASSERT_EQ(diags.size(), std::size(kExpectedFixtureFindings));
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    SCOPED_TRACE("finding #" + std::to_string(i));
+    EXPECT_EQ(diags[i].file, kExpectedFixtureFindings[i].file);
+    EXPECT_EQ(diags[i].line, kExpectedFixtureFindings[i].line);
+    EXPECT_EQ(diags[i].rule, kExpectedFixtureFindings[i].rule);
+    EXPECT_FALSE(diags[i].message.empty());
+  }
+}
+
+TEST(LintFixtures, JustifiedSuppressionIsSwallowed) {
+  // hot_path.cpp carries one allow(sim-heap-alloc) over a make_unique call:
+  // the allocation must not be reported, and the suppression must count as
+  // used (no unused-suppression finding for hot_path.cpp).
+  for (const auto& d : lintFixtures()) {
+    if (d.file != "src/mcsim/sim/hot_path.cpp") continue;
+    EXPECT_NE(d.rule, "unused-suppression") << d.message;
+    EXPECT_NE(d.line, 18) << d.rule << ": " << d.message;
+  }
+}
+
+TEST(LintFixtures, MissingRootIsAnErrorNotACleanTree) {
+  std::string error;
+  const auto diags =
+      lintTree("/nonexistent-mcsim-lint-root", {}, Options{}, &error);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_NE(error.find("no such directory"), std::string::npos) << error;
+}
+
+TEST(LintFixtures, EveryRuleHasCatalogCoverage) {
+  // Each fixture rule id must exist in the catalog (guards against the
+  // fixtures drifting when rule ids are renamed).
+  for (const auto& e : kExpectedFixtureFindings)
+    EXPECT_TRUE(mcsim::lint::isKnownRule(e.rule)) << e.rule;
+}
+
+// -- lexer -------------------------------------------------------------------
+
+TEST(LintLexer, StripsCommentsKeepsLineCount) {
+  // Newline-terminated input yields one (empty) line per trailing newline,
+  // keeping line numbers identical to the editor's.
+  const auto lines = stripSource(
+      "int a; // trailing\n"
+      "/* block\n"
+      "   spanning */ int b;\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].code.substr(0, 6), "int a;");
+  EXPECT_EQ(lines[0].comment.find("trailing") != std::string::npos, true);
+  EXPECT_EQ(lines[1].code.find("block"), std::string::npos);
+  EXPECT_NE(lines[2].code.find("int b;"), std::string::npos);
+}
+
+TEST(LintLexer, BlanksStringAndCharLiterals) {
+  const auto lines = stripSource("auto s = \"rand() time(nullptr)\";\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringsDoNotLeak) {
+  const auto lines = stripSource(
+      "auto s = R\"(rand() // not a comment)\";\n"
+      "int after;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[1].code.find("int after;"), std::string::npos);
+}
+
+// -- rules on synthetic inputs ----------------------------------------------
+
+std::vector<Diagnostic> lintOne(const std::string& path,
+                                const std::string& text,
+                                Options options = Options{}) {
+  return lintFiles({FileContent{path, text}}, options);
+}
+
+TEST(LintRules, LiteralsAndCommentsNeverTrigger) {
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "// rand() in a comment\n"
+                             "const char* s = \"time(nullptr)\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, QuotedUmbrellaIncludeIsCaught) {
+  const auto diags =
+      lintOne("src/mcsim/x.cpp", "#include \"mcsim/mcsim.hpp\"\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-hygiene");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, UmbrellaIncludeAllowedOutsideLibrary) {
+  EXPECT_TRUE(lintOne("tools/x.cpp", "#include \"mcsim/mcsim.hpp\"\n").empty());
+  EXPECT_TRUE(
+      lintOne("examples/x.cpp", "#include \"mcsim/mcsim.hpp\"\n").empty());
+}
+
+TEST(LintRules, SteadyClockAllowedOutsideSrc) {
+  const std::string text =
+      "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lintOne("bench/x.cpp", text).empty());
+  EXPECT_FALSE(lintOne("src/mcsim/x.cpp", text).empty());
+}
+
+TEST(LintRules, PlacementNewIsNotAnAllocation) {
+  const auto diags = lintOne("src/mcsim/sim/x.cpp",
+                             "void f(void* p) { ::new (p) int(7); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// -- suppressions ------------------------------------------------------------
+
+TEST(LintSuppressions, TrailingCommentCoversItsLine) {
+  const auto diags = lintOne(
+      "src/mcsim/x.cpp",
+      "int r = rand();  // mcsim-lint: allow(no-rand) — fixture\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppressions, StandaloneCommentCoversNextCodeLine) {
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "// mcsim-lint: allow(no-rand) — a multi-line\n"
+                             "// justification keeps the allow with its why\n"
+                             "int r = rand();\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppressions, SuppressionDoesNotLeakPastTarget) {
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "// mcsim-lint: allow(no-rand)\n"
+                             "int a = rand();\n"
+                             "int b = rand();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintSuppressions, UnusedSuppressionReported) {
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "// mcsim-lint: allow(no-rand)\n"
+                             "int pure() { return 4; }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unused-suppression");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintSuppressions, UnknownRuleReported) {
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "int r = rand();  // mcsim-lint: allow(bogus)\n");
+  ASSERT_EQ(diags.size(), 2u);  // the rand finding survives + unknown allow
+  EXPECT_EQ(diags[0].rule, "no-rand");
+  EXPECT_EQ(diags[1].rule, "unused-suppression");
+}
+
+TEST(LintSuppressions, UnusedCheckCanBeDisabled) {
+  Options options;
+  options.checkUnusedSuppressions = false;
+  const auto diags = lintOne("src/mcsim/x.cpp",
+                             "// mcsim-lint: allow(no-rand)\n"
+                             "int pure() { return 4; }\n", options);
+  EXPECT_TRUE(diags.empty());
+}
+
+// -- JSON --------------------------------------------------------------------
+
+TEST(LintJson, WellFormedAndComplete) {
+  const auto diags = lintFixtures();
+  const std::string json = toJson(diags);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":" + std::to_string(diags.size())),
+            std::string::npos);
+  // One finding object per diagnostic.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"rule\""); pos != std::string::npos;
+       pos = json.find("\"rule\"", pos + 1))
+    ++count;
+  EXPECT_EQ(count, diags.size());
+  // The em-dash-bearing messages survive escaping: every quote is either a
+  // field delimiter or escaped, so the brace balance must close.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(LintJson, EscapesSpecialCharacters) {
+  const std::string json = toJson(
+      {Diagnostic{"a\"b.cpp", 1, "no-rand", "line1\nline2\tend"}});
+  EXPECT_NE(json.find("a\\\"b.cpp"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\tend"), std::string::npos);
+}
+
+// -- catalog -----------------------------------------------------------------
+
+TEST(LintCatalog, RuleIdsAreUniqueAndDescribed) {
+  std::set<std::string> seen;
+  for (const auto& rule : mcsim::lint::ruleCatalog()) {
+    EXPECT_TRUE(seen.insert(rule.id).second) << rule.id;
+    EXPECT_FALSE(std::string(rule.summary).empty()) << rule.id;
+    EXPECT_TRUE(mcsim::lint::isKnownRule(rule.id));
+  }
+  EXPECT_FALSE(mcsim::lint::isKnownRule("not-a-rule"));
+}
+
+}  // namespace

@@ -1,0 +1,986 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace mcsim::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+// ---------------------------------------------------------------------------
+
+constexpr const char* kNoRand = "no-rand";
+constexpr const char* kNoWallclock = "no-wallclock";
+constexpr const char* kUnorderedIter = "unordered-iter";
+constexpr const char* kPtrKey = "ptr-key";
+constexpr const char* kSimStdFunction = "sim-std-function";
+constexpr const char* kSimHeapAlloc = "sim-heap-alloc";
+constexpr const char* kEventTaxonomy = "event-taxonomy";
+constexpr const char* kDeprecatedCompat = "deprecated-compat";
+constexpr const char* kIncludeHygiene = "include-hygiene";
+constexpr const char* kUnusedSuppression = "unused-suppression";
+
+const std::vector<RuleInfo> kCatalog = {
+    {kNoRand,
+     "rand()/srand()/std::random_device are nondeterministic; use mcsim::Rng "
+     "(util/rng.hpp) with an explicit seed"},
+    {kNoWallclock,
+     "wall-clock reads (time(nullptr), system_clock, clock(), gettimeofday, "
+     "localtime/gmtime; steady/high_resolution_clock inside src/) break "
+     "bit-stable replay"},
+    {kUnorderedIter,
+     "iterating a hash-ordered container feeds hash order into output or "
+     "accounting; sort first or use an ordered container"},
+    {kPtrKey,
+     "pointer-keyed map/set iterates in address order, which varies run to "
+     "run; key by a stable id instead"},
+    {kSimStdFunction,
+     "std::function in src/mcsim/sim/ heap-allocates on the event hot path; "
+     "use sim::EventFn or a justified allow"},
+    {kSimHeapAlloc,
+     "naked new/make_shared/make_unique in src/mcsim/sim/ marks a per-event "
+     "heap allocation on the hot path"},
+    {kEventTaxonomy,
+     "obs::EventKind, the Payload variant, kEventKindCount and the "
+     "jsonl/sink exporters must stay in lockstep"},
+    {kDeprecatedCompat,
+     "-Wdeprecated-declarations suppression outside tests/: positional "
+     "compat ctors are test-only; migrate to the config-struct API"},
+    {kIncludeHygiene,
+     "include hygiene: no umbrella include inside src/mcsim/, no relative "
+     "includes, util/ and obs/event.hpp keep their layering"},
+    {kUnusedSuppression,
+     "an `mcsim-lint: allow(rule)` comment that suppressed nothing (or names "
+     "an unknown rule)"},
+};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& ruleCatalog() { return kCatalog; }
+
+bool isKnownRule(const std::string& id) {
+  for (const RuleInfo& r : kCatalog)
+    if (id == r.id) return true;
+  return false;
+}
+
+std::vector<SourceLine> stripSource(const std::string& text) {
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  std::vector<SourceLine> lines(1);
+  State state = State::Code;
+  std::string rawDelim;  // for R"delim( ... )delim"
+
+  auto codeCh = [&](char c) { lines.back().code.push_back(c); };
+  auto commentCh = [&](char c) { lines.back().comment.push_back(c); };
+  auto newline = [&] { lines.emplace_back(); };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Code;
+      newline();
+      continue;
+    }
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          codeCh(' ');
+          codeCh(' ');
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          codeCh(' ');
+          codeCh(' ');
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !isIdentChar(text[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          rawDelim.clear();
+          while (j < n && text[j] != '(') rawDelim.push_back(text[j++]);
+          codeCh(' ');  // R
+          codeCh('"');
+          for (std::size_t k = i + 2; k <= j && k < n; ++k) codeCh(' ');
+          i = j;  // at '(' (or end)
+          state = State::Raw;
+        } else if (c == '"') {
+          state = State::String;
+          codeCh('"');
+        } else if (c == '\'' && !(i > 0 && isIdentChar(text[i - 1]))) {
+          // Skip digit separators (1'000'000): a quote directly after an
+          // identifier/digit character is not a char literal.
+          state = State::Char;
+          codeCh('\'');
+        } else {
+          codeCh(c);
+        }
+        break;
+      case State::LineComment:
+        commentCh(c);
+        codeCh(' ');
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          codeCh(' ');
+          codeCh(' ');
+          ++i;
+        } else {
+          commentCh(c);
+          codeCh(' ');
+        }
+        break;
+      case State::String:
+        if (c == '\\' && next != '\0') {
+          codeCh(' ');
+          codeCh(' ');
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+          codeCh('"');
+        } else {
+          codeCh(' ');
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && next != '\0') {
+          codeCh(' ');
+          codeCh(' ');
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          codeCh('\'');
+        } else {
+          codeCh(' ');
+        }
+        break;
+      case State::Raw: {
+        // Look for )delim" at this position.
+        if (c == ')' && i + rawDelim.size() + 1 < n &&
+            text.compare(i + 1, rawDelim.size(), rawDelim) == 0 &&
+            text[i + 1 + rawDelim.size()] == '"') {
+          for (std::size_t k = 0; k < rawDelim.size() + 1; ++k) codeCh(' ');
+          codeCh('"');
+          i += rawDelim.size() + 1;
+          state = State::Code;
+        } else {
+          codeCh(' ');
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsed file + scanning helpers
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  int line = 0;    ///< Line carrying the allow() comment.
+  int target = 0;  ///< Line the suppression covers (first code line at or
+                   ///< after `line`; a trailing comment covers its own line).
+  std::string rule;
+  bool used = false;
+  bool known = true;
+};
+
+struct ParsedFile {
+  std::string path;
+  std::vector<SourceLine> lines;
+  std::string blob;                    ///< Code views joined by '\n'.
+  std::vector<std::size_t> lineStart;  ///< Offset of each line in blob.
+  std::vector<bool> preproc;           ///< Line starts with '#'.
+  std::vector<Suppression> sups;
+};
+
+int lineOf(const ParsedFile& f, std::size_t offset) {
+  auto it = std::upper_bound(f.lineStart.begin(), f.lineStart.end(), offset);
+  return static_cast<int>(it - f.lineStart.begin());
+}
+
+bool onPreprocLine(const ParsedFile& f, std::size_t offset) {
+  const int line = lineOf(f, offset);
+  return f.preproc[static_cast<std::size_t>(line - 1)];
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Invoke fn(name, begin, end) for every identifier token in `blob`.
+template <typename Fn>
+void forEachIdentifier(const std::string& blob, Fn fn) {
+  const std::size_t n = blob.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (isIdentChar(blob[i]) &&
+        !std::isdigit(static_cast<unsigned char>(blob[i]))) {
+      std::size_t b = i;
+      while (i < n && isIdentChar(blob[i])) ++i;
+      fn(std::string_view(blob).substr(b, i - b), b, i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t nextNonSpace(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])))
+    ++i;
+  return i;
+}
+
+/// Index of the previous non-whitespace char strictly before `i`, or npos.
+std::size_t prevNonSpace(const std::string& s, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (!std::isspace(static_cast<unsigned char>(s[i]))) return i;
+  }
+  return std::string::npos;
+}
+
+/// `pos` points at '<'; returns the index just past the matching '>', or
+/// npos.  Parens are tracked so `foo<decltype(a > b)>` does not terminate
+/// early on common cases.
+std::size_t matchAngle(const std::string& s, std::size_t pos) {
+  int angle = 0;
+  int paren = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(') ++paren;
+    else if (c == ')') --paren;
+    else if (paren == 0 && c == '<') ++angle;
+    else if (paren == 0 && c == '>') {
+      if (--angle == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// `pos` points at '('; returns the index of the matching ')', or npos.
+std::size_t matchParen(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')') {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+bool wholeWordIn(std::string_view haystack, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = haystack.find(word, pos)) != std::string_view::npos) {
+    const bool left = pos == 0 || !isIdentChar(haystack[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right = after >= haystack.size() || !isIdentChar(haystack[after]);
+    if (left && right) return true;
+    pos += word.size();
+  }
+  return false;
+}
+
+bool pathUnder(const ParsedFile& f, std::string_view prefix) {
+  return startsWith(f.path, prefix);
+}
+
+bool isSimPath(const ParsedFile& f) { return pathUnder(f, "src/mcsim/sim/"); }
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+using Diags = std::vector<Diagnostic>;
+
+void diag(Diags& out, const ParsedFile& f, int line, const char* rule,
+          std::string message) {
+  out.push_back(Diagnostic{f.path, line, rule, std::move(message)});
+}
+
+/// no-rand + no-wallclock + sim-std-function + sim-heap-alloc + the
+/// declaration-collection half of unordered-iter / ptr-key, in one
+/// identifier sweep per file.
+struct IdentScan {
+  std::set<std::string> unorderedNames;  ///< Declared in this file.
+};
+
+IdentScan scanIdentifiers(const ParsedFile& f, Diags& out) {
+  IdentScan result;
+  const std::string& b = f.blob;
+  const bool sim = isSimPath(f);
+  const bool inLibrary = pathUnder(f, "src/");
+
+  forEachIdentifier(b, [&](std::string_view name, std::size_t begin,
+                           std::size_t end) {
+    const std::size_t prev = prevNonSpace(b, begin);
+    const char prevCh = prev == std::string::npos ? '\0' : b[prev];
+    const std::size_t nxt = nextNonSpace(b, end);
+    const char nextCh = nxt < b.size() ? b[nxt] : '\0';
+    const bool member = prevCh == '.' || (prevCh == '>' && prev > 0 &&
+                                          b[prev - 1] == '-');
+
+    if ((name == "rand" || name == "srand") && !member && nextCh == '(') {
+      diag(out, f, lineOf(f, begin), kNoRand,
+           std::string(name) + "() is nondeterministic; use mcsim::Rng "
+           "(util/rng.hpp) with an explicit seed");
+    } else if (name == "random_device") {
+      diag(out, f, lineOf(f, begin), kNoRand,
+           "std::random_device is nondeterministic; seed mcsim::Rng "
+           "explicitly");
+    } else if (name == "time" && !member && nextCh == '(') {
+      const std::size_t close = matchParen(b, nxt);
+      if (close != std::string::npos) {
+        const std::string arg = trim(
+            std::string_view(b).substr(nxt + 1, close - nxt - 1));
+        if (arg == "nullptr" || arg == "NULL" || arg == "0")
+          diag(out, f, lineOf(f, begin), kNoWallclock,
+               "time(" + arg + ") reads the wall clock; simulation time "
+               "comes from Simulator::now()");
+      }
+    } else if (name == "system_clock" || name == "gettimeofday" ||
+               name == "localtime" || name == "gmtime") {
+      diag(out, f, lineOf(f, begin), kNoWallclock,
+           std::string(name) + " reads the wall clock; simulation time "
+           "comes from Simulator::now()");
+    } else if ((name == "steady_clock" || name == "high_resolution_clock") &&
+               inLibrary) {
+      diag(out, f, lineOf(f, begin), kNoWallclock,
+           std::string(name) + " is banned inside src/ (the library must "
+           "be replay-stable); wall timing belongs in bench/ or tools/");
+    } else if (name == "clock" && !member && prevCh != ':' && nextCh == '(') {
+      const std::size_t close = matchParen(b, nxt);
+      if (close != std::string::npos &&
+          trim(std::string_view(b).substr(nxt + 1, close - nxt - 1)).empty())
+        diag(out, f, lineOf(f, begin), kNoWallclock,
+             "clock() reads the process clock; simulation time comes from "
+             "Simulator::now()");
+    } else if (name == "function" && sim && prevCh == ':' && prev >= 4 &&
+               b.compare(prev - 4, 5, "std::") == 0) {
+      diag(out, f, lineOf(f, begin), kSimStdFunction,
+           "std::function on the sim hot path heap-allocates per capture; "
+           "use sim::EventFn");
+    } else if (sim && !onPreprocLine(f, begin) &&
+               (name == "make_shared" || name == "make_unique" ||
+                name == "malloc" || name == "calloc")) {
+      diag(out, f, lineOf(f, begin), kSimHeapAlloc,
+           std::string(name) + " in src/mcsim/sim/ marks a per-event heap "
+           "allocation on the hot path");
+    } else if (sim && name == "new" && !onPreprocLine(f, begin) &&
+               nextCh != '(' && nextCh != '\0') {
+      // `new (place) T` is placement new and exempt; `new T(...)` is not.
+      diag(out, f, lineOf(f, begin), kSimHeapAlloc,
+           "naked `new` in src/mcsim/sim/ marks a per-event heap "
+           "allocation on the hot path");
+    } else if (name == "unordered_map" || name == "unordered_set" ||
+               ((name == "map" || name == "set" || name == "multimap" ||
+                 name == "multiset") &&
+                prevCh == ':')) {
+      if (nextCh != '<') return;
+      const std::size_t close = matchAngle(b, nxt);
+      if (close == std::string::npos) return;
+
+      // ptr-key: pointer in the first top-level template argument (the key
+      // for map-likes; for set-likes the first argument is the key anyway).
+      {
+        int depth = 0;
+        std::size_t argEnd = close - 1;
+        for (std::size_t i = nxt; i < close; ++i) {
+          if (b[i] == '<' || b[i] == '(') ++depth;
+          else if (b[i] == '>' || b[i] == ')') --depth;
+          else if (b[i] == ',' && depth == 1) {
+            argEnd = i;
+            break;
+          }
+        }
+        const std::string keyArg =
+            trim(std::string_view(b).substr(nxt + 1, argEnd - nxt - 1));
+        if (keyArg.find('*') != std::string::npos)
+          diag(out, f, lineOf(f, begin), kPtrKey,
+               "container keyed by a pointer (" + keyArg + "): iteration "
+               "order is address order and varies run to run");
+      }
+
+      // unordered-iter declaration half: record the declared name.
+      if (name == "unordered_map" || name == "unordered_set") {
+        std::size_t i = nextNonSpace(b, close);
+        while (i < b.size() && b[i] == '>') i = nextNonSpace(b, i + 1);
+        while (i < b.size() && (b[i] == '&' || b[i] == '*'))
+          i = nextNonSpace(b, i + 1);
+        std::size_t nb = i;
+        while (i < b.size() && isIdentChar(b[i])) ++i;
+        if (i > nb) {
+          const std::string declared(b, nb, i - nb);
+          const std::size_t after = nextNonSpace(b, i);
+          // `...>& usage() const` declares a function, not a container.
+          const bool emptyParens =
+              after < b.size() && b[after] == '(' &&
+              nextNonSpace(b, after + 1) < b.size() &&
+              b[nextNonSpace(b, after + 1)] == ')';
+          if (!emptyParens) result.unorderedNames.insert(declared);
+        }
+      }
+    }
+  });
+  return result;
+}
+
+/// unordered-iter detection half: range-for over, or .begin()/.cbegin() on,
+/// a name known to be hash-ordered.
+void scanUnorderedIteration(const ParsedFile& f,
+                            const std::set<std::string>& names, Diags& out) {
+  if (names.empty()) return;
+  const std::string& b = f.blob;
+  forEachIdentifier(b, [&](std::string_view name, std::size_t begin,
+                           std::size_t end) {
+    if (name == "for") {
+      const std::size_t open = nextNonSpace(b, end);
+      if (open >= b.size() || b[open] != '(') return;
+      const std::size_t close = matchParen(b, open);
+      if (close == std::string::npos) return;
+      // Find a top-level ':' (range-for); a top-level ';' means classic for.
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        const char c = b[i];
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+        else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+        else if (c == ';' && depth == 0) return;
+        else if (c == ':' && depth == 0 &&
+                 (i + 1 >= close || b[i + 1] != ':') &&
+                 (i == 0 || b[i - 1] != ':')) {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) return;
+      const std::string_view range =
+          std::string_view(b).substr(colon + 1, close - colon - 1);
+      for (const std::string& n : names)
+        if (wholeWordIn(range, n)) {
+          diag(out, f, lineOf(f, begin), kUnorderedIter,
+               "range-for over hash-ordered container `" + n + "`; order "
+               "feeds output/accounting — sort first or use an ordered "
+               "container");
+          return;
+        }
+    } else if (name == "begin" || name == "cbegin") {
+      const std::size_t prev = prevNonSpace(b, begin);
+      if (prev == std::string::npos || b[prev] != '.') return;
+      // Walk back over an optional index/call suffix to the base name.
+      std::size_t i = prev;  // at '.'
+      std::size_t p = prevNonSpace(b, i);
+      if (p == std::string::npos) return;
+      if (b[p] == ']' || b[p] == ')') {
+        const char openCh = b[p] == ']' ? '[' : '(';
+        const char closeCh = b[p];
+        int depth = 0;
+        while (true) {
+          if (b[p] == closeCh) ++depth;
+          else if (b[p] == openCh && --depth == 0) break;
+          if (p == 0) return;
+          --p;
+        }
+        p = prevNonSpace(b, p);
+        if (p == std::string::npos) return;
+      }
+      if (!isIdentChar(b[p])) return;
+      std::size_t nb = p;
+      while (nb > 0 && isIdentChar(b[nb - 1])) --nb;
+      const std::string base(b, nb, p - nb + 1);
+      if (names.count(base))
+        diag(out, f, lineOf(f, begin), kUnorderedIter,
+             "`" + base + "." + std::string(name) + "()` iterates a "
+             "hash-ordered container; order feeds output/accounting — sort "
+             "first or use an ordered container");
+    }
+  });
+}
+
+void scanLines(const ParsedFile& f, const std::string& rawText, Diags& out) {
+  static const std::regex kInclude(
+      R"(^\s*#\s*include\s*["<]([^">]+)[">])");
+  const bool inLibrary = pathUnder(f, "src/mcsim/");
+  const bool inUtil = pathUnder(f, "src/mcsim/util/");
+  const bool isEventHeader = endsWith(f.path, "obs/event.hpp");
+
+  // The code view blanks string-literal contents, which erases quoted
+  // include paths; recover each path from the raw line once the (stripped)
+  // code view has confirmed the line really is an include directive.
+  std::vector<std::string> raw;
+  raw.reserve(f.lines.size());
+  {
+    std::istringstream in(rawText);
+    std::string line;
+    while (std::getline(in, line)) raw.push_back(std::move(line));
+  }
+
+  for (std::size_t li = 0; li < f.lines.size(); ++li) {
+    const std::string& code = f.lines[li].code;
+    const int line = static_cast<int>(li) + 1;
+    std::smatch m;
+    if (std::regex_search(code, m, kInclude)) {
+      std::string inc = m[1].str();
+      if (li < raw.size()) {
+        std::smatch rm;
+        if (std::regex_search(raw[li], rm, kInclude)) inc = rm[1].str();
+      }
+      if (inLibrary && inc == "mcsim/mcsim.hpp")
+        diag(out, f, line, kIncludeHygiene,
+             "library code must include the specific headers it needs, not "
+             "the mcsim.hpp umbrella (keeps the module layering visible)");
+      if (startsWith(inc, "../") || inc.find("/../") != std::string::npos)
+        diag(out, f, line, kIncludeHygiene,
+             "relative include `" + inc + "`; use the mcsim/-rooted path");
+      if (isEventHeader && startsWith(inc, "mcsim/"))
+        diag(out, f, line, kIncludeHygiene,
+             "obs/event.hpp sits below every other mcsim module and may not "
+             "include `" + inc + "`");
+      else if (inUtil && startsWith(inc, "mcsim/") &&
+               !startsWith(inc, "mcsim/util/") &&
+               !startsWith(inc, "mcsim/obs/"))
+        diag(out, f, line, kIncludeHygiene,
+             "util/ may only include mcsim/util/ and mcsim/obs/ headers "
+             "(log routing), not `" + inc + "`");
+    }
+  }
+}
+
+/// deprecated-compat needs the *raw* line (the warning name sits inside a
+/// string literal that the code view blanks).
+void scanRawLines(const ParsedFile& f, const std::string& rawText,
+                  Diags& out) {
+  static const std::regex kDeprecated(
+      R"(#\s*pragma\s+(GCC|clang)\s+diagnostic\s+ignored\s*"-Wdeprecated)");
+  std::istringstream in(rawText);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (std::regex_search(line, kDeprecated))
+      diag(out, f, lineNo, kDeprecatedCompat,
+           "deprecated-declaration suppression outside tests/: positional "
+           "compat ctors are test-only; migrate to the config-struct API");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// event-taxonomy (cross-file)
+// ---------------------------------------------------------------------------
+
+const ParsedFile* findBySuffix(const std::vector<ParsedFile>& files,
+                               std::string_view suffix) {
+  for (const ParsedFile& f : files)
+    if (endsWith(f.path, suffix)) return &f;
+  return nullptr;
+}
+
+/// Enumerators of `enum class EventKind { ... }`, with the line of the
+/// opening brace.
+std::vector<std::string> parseEnumerators(const ParsedFile& f, int* atLine) {
+  std::vector<std::string> names;
+  const std::string& b = f.blob;
+  const std::size_t tag = b.find("enum class EventKind");
+  if (tag == std::string::npos) return names;
+  const std::size_t open = b.find('{', tag);
+  if (open == std::string::npos) return names;
+  if (atLine) *atLine = lineOf(f, tag);
+  std::size_t close = b.find('}', open);
+  if (close == std::string::npos) return names;
+  std::string_view body = std::string_view(b).substr(open + 1, close - open - 1);
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string_view::npos) comma = body.size();
+    std::string entry = trim(body.substr(pos, comma - pos));
+    const std::size_t eq = entry.find('=');
+    if (eq != std::string::npos) entry = trim(entry.substr(0, eq));
+    if (!entry.empty()) names.push_back(entry);
+    pos = comma + 1;
+  }
+  return names;
+}
+
+/// Alternatives of `using Payload = std::variant<...>` (last :: component).
+std::vector<std::string> parseVariant(const ParsedFile& f, int* atLine) {
+  std::vector<std::string> names;
+  const std::string& b = f.blob;
+  const std::size_t tag = b.find("using Payload");
+  if (tag == std::string::npos) return names;
+  const std::size_t open = b.find('<', tag);
+  if (open == std::string::npos) return names;
+  if (atLine) *atLine = lineOf(f, tag);
+  const std::size_t close = matchAngle(b, open);
+  if (close == std::string::npos) return names;
+  std::string_view body =
+      std::string_view(b).substr(open + 1, close - 1 - (open + 1));
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= body.size(); ++i) {
+    const char c = i < body.size() ? body[i] : ',';
+    if (c == '<' || c == '(') ++depth;
+    else if (c == '>' || c == ')') --depth;
+    else if (c == ',' && depth == 0) {
+      std::string entry = trim(body.substr(start, i - start));
+      const std::size_t sep = entry.rfind("::");
+      if (sep != std::string::npos) entry = entry.substr(sep + 2);
+      if (!entry.empty()) names.push_back(entry);
+      start = i + 1;
+    }
+  }
+  return names;
+}
+
+void checkTaxonomy(const std::vector<ParsedFile>& files, Diags& out) {
+  const ParsedFile* eventHpp = findBySuffix(files, "obs/event.hpp");
+  if (eventHpp == nullptr) return;
+
+  int enumLine = 1;
+  int variantLine = 1;
+  const std::vector<std::string> kinds = parseEnumerators(*eventHpp, &enumLine);
+  const std::vector<std::string> alts = parseVariant(*eventHpp, &variantLine);
+  if (kinds.empty()) return;  // No taxonomy in this tree slice.
+
+  // kEventKindCount literal must equal the enumerator count.
+  {
+    static const std::regex kCount(R"(kEventKindCount\s*=\s*(\d+))");
+    std::smatch m;
+    if (std::regex_search(eventHpp->blob, m, kCount)) {
+      const std::size_t declared = std::stoul(m[1].str());
+      if (declared != kinds.size())
+        diag(out, *eventHpp,
+             lineOf(*eventHpp,
+                    static_cast<std::size_t>(m.position(0))),
+             kEventTaxonomy,
+             "kEventKindCount = " + m[1].str() + " but EventKind has " +
+                 std::to_string(kinds.size()) + " enumerators");
+    }
+  }
+
+  // The variant and the enum must list the same names, in the same order.
+  if (!alts.empty()) {
+    const std::size_t n = std::min(kinds.size(), alts.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (kinds[i] != alts[i]) {
+        diag(out, *eventHpp, enumLine, kEventTaxonomy,
+             "EventKind[" + std::to_string(i) + "] = " + kinds[i] +
+                 " but Payload[" + std::to_string(i) + "] = " + alts[i] +
+                 " — the enum order defines the variant index");
+        break;
+      }
+    if (kinds.size() != alts.size())
+      diag(out, *eventHpp, variantLine, kEventTaxonomy,
+           "EventKind has " + std::to_string(kinds.size()) +
+               " enumerators but Payload has " + std::to_string(alts.size()) +
+               " alternatives");
+  }
+
+  // Every kind needs a `case EventKind::X` in sink.cpp's eventName switch.
+  if (const ParsedFile* sink = findBySuffix(files, "obs/sink.cpp")) {
+    const std::size_t fn = sink->blob.find("eventName");
+    const int anchor = fn == std::string::npos ? 1 : lineOf(*sink, fn);
+    for (const std::string& k : kinds)
+      if (!wholeWordIn(sink->blob, "EventKind::" + k) ||
+          sink->blob.find("case EventKind::" + k) == std::string::npos)
+        diag(out, *sink, anchor, kEventTaxonomy,
+             "EventKind::" + k + " has no case in eventName() — every kind "
+             "needs a stable JSONL type name");
+  }
+
+  // Every payload alternative needs a Writer overload in jsonl.cpp.
+  if (const ParsedFile* jsonl = findBySuffix(files, "obs/jsonl.cpp")) {
+    const std::size_t wr = jsonl->blob.find("struct Writer");
+    const int anchor = wr == std::string::npos ? 1 : lineOf(*jsonl, wr);
+    for (const std::string& a : (alts.empty() ? kinds : alts)) {
+      const std::regex overload("operator\\s*\\(\\s*\\)\\s*\\(\\s*const\\s+"
+                                "(\\w+::)*" + a + "\\s*&");
+      if (!std::regex_search(jsonl->blob, overload))
+        diag(out, *jsonl, anchor, kEventTaxonomy,
+             "payload " + a + " has no Writer::operator()(const " + a +
+                 "&) — its fields would be dropped from JSONL output");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+void collectSuppressions(ParsedFile& f) {
+  static const std::regex kAllow(R"(mcsim-lint:\s*allow\(([^)]*)\))");
+  for (std::size_t li = 0; li < f.lines.size(); ++li) {
+    const std::string& comment = f.lines[li].comment;
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::stringstream args((*it)[1].str());
+      std::string rule;
+      while (std::getline(args, rule, ',')) {
+        rule = trim(rule);
+        if (rule.empty()) continue;
+        Suppression s;
+        s.line = static_cast<int>(li) + 1;
+        s.rule = rule;
+        s.known = isKnownRule(rule);
+        // A trailing comment covers its own line; a standalone comment (no
+        // code on the line) covers the first code line after the comment
+        // block, so a multi-line justification can precede the code.
+        s.target = s.line;
+        if (trim(f.lines[li].code).empty()) {
+          for (std::size_t j = li + 1; j < f.lines.size(); ++j) {
+            if (!trim(f.lines[j].code).empty()) {
+              s.target = static_cast<int>(j) + 1;
+              break;
+            }
+          }
+        }
+        f.sups.push_back(std::move(s));
+      }
+    }
+  }
+}
+
+/// Drop diagnostics covered by a same-line or line-above suppression; then
+/// report unused or unknown suppressions.
+Diags applySuppressions(std::vector<ParsedFile>& files, Diags diags,
+                        const Options& options) {
+  Diags kept;
+  for (Diagnostic& d : diags) {
+    ParsedFile* f = nullptr;
+    for (ParsedFile& pf : files)
+      if (pf.path == d.file) {
+        f = &pf;
+        break;
+      }
+    bool suppressed = false;
+    if (f != nullptr) {
+      for (Suppression& s : f->sups) {
+        if (s.rule == d.rule && s.target == d.line) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(d));
+  }
+  if (options.checkUnusedSuppressions) {
+    for (const ParsedFile& f : files)
+      for (const Suppression& s : f.sups) {
+        if (!s.known)
+          kept.push_back(Diagnostic{
+              f.path, s.line, kUnusedSuppression,
+              "allow(" + s.rule + ") names an unknown rule; see "
+              "mcsim-lint --list-rules"});
+        else if (!s.used)
+          kept.push_back(Diagnostic{
+              f.path, s.line, kUnusedSuppression,
+              "allow(" + s.rule + ") suppressed nothing; remove the stale "
+              "suppression"});
+      }
+  }
+  return kept;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic> lintFiles(const std::vector<FileContent>& files,
+                                  const Options& options) {
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const FileContent& fc : files) {
+    ParsedFile f;
+    f.path = fc.path;
+    f.lines = stripSource(fc.text);
+    f.lineStart.reserve(f.lines.size());
+    std::size_t offset = 0;
+    for (const SourceLine& l : f.lines) {
+      f.lineStart.push_back(offset);
+      offset += l.code.size() + 1;
+      if (!f.blob.empty()) f.blob.push_back('\n');
+      f.blob += l.code;
+      const std::size_t first = l.code.find_first_not_of(" \t");
+      f.preproc.push_back(first != std::string::npos && l.code[first] == '#');
+    }
+    collectSuppressions(f);
+    parsed.push_back(std::move(f));
+  }
+
+  Diags diags;
+
+  // Pass 1: per-file identifier sweeps; members (name_) join a global set so
+  // a container declared in the .hpp is still caught iterating in the .cpp.
+  std::set<std::string> globalMembers;
+  std::vector<std::set<std::string>> localNames(parsed.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    IdentScan scan = scanIdentifiers(parsed[i], diags);
+    for (const std::string& n : scan.unorderedNames) {
+      if (endsWith(n, "_")) globalMembers.insert(n);
+      localNames[i].insert(n);
+    }
+  }
+
+  // Pass 2: iteration detection + line rules.
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    std::set<std::string> names = globalMembers;
+    names.insert(localNames[i].begin(), localNames[i].end());
+    scanUnorderedIteration(parsed[i], names, diags);
+    scanLines(parsed[i], files[i].text, diags);
+    scanRawLines(parsed[i], files[i].text, diags);
+  }
+
+  checkTaxonomy(parsed, diags);
+
+  diags = applySuppressions(parsed, diags, options);
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.rule == b.rule && a.message == b.message;
+                          }),
+              diags.end());
+  return diags;
+}
+
+std::vector<Diagnostic> lintTree(const std::filesystem::path& root,
+                                 std::vector<std::string> subdirs,
+                                 const Options& options, std::string* error) {
+  namespace fs = std::filesystem;
+  if (subdirs.empty()) subdirs = {"src", "tools", "bench", "examples"};
+
+  std::vector<FileContent> files;
+  std::error_code ec;
+  if (!fs::exists(root, ec)) {
+    // A typo'd root must not report a vacuously clean tree.
+    if (error) *error = root.string() + ": no such directory";
+    return {};
+  }
+  for (const std::string& sub : subdirs) {
+    const fs::path base = root / sub;
+    if (!fs::exists(base, ec)) continue;
+    fs::recursive_directory_iterator it(base, ec), end;
+    if (ec) {
+      if (error) *error = base.string() + ": " + ec.message();
+      return {};
+    }
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      const fs::path& p = it->path();
+      if (it->is_directory()) {
+        const std::string name = p.filename().string();
+        if (name == "fixtures" || name == "build" || name == ".git")
+          it.disable_recursion_pending();
+        continue;
+      }
+      const std::string fn = p.filename().string();
+      if (!(endsWith(fn, ".hpp") || endsWith(fn, ".cpp") ||
+            endsWith(fn, ".hpp.in")))
+        continue;
+      std::ifstream in(p, std::ios::binary);
+      if (!in) {
+        if (error) *error = p.string() + ": cannot read";
+        return {};
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      files.push_back(
+          FileContent{fs::relative(p, root).generic_string(), text.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileContent& a, const FileContent& b) {
+              return a.path < b.path;
+            });
+  return lintFiles(files, options);
+}
+
+std::string toJson(const std::vector<Diagnostic>& diagnostics) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+
+  std::map<std::string, std::size_t> counts;
+  std::ostringstream os;
+  os << "{\"version\":1,\"findings\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    ++counts[d.rule];
+    if (i) os << ',';
+    os << "{\"file\":\"" << escape(d.file) << "\",\"line\":" << d.line
+       << ",\"rule\":\"" << escape(d.rule) << "\",\"message\":\""
+       << escape(d.message) << "\"}";
+  }
+  os << "],\"counts\":{";
+  bool first = true;
+  for (const auto& [rule, n] : counts) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(rule) << "\":" << n;
+  }
+  os << "},\"total\":" << diagnostics.size() << "}";
+  return os.str();
+}
+
+}  // namespace mcsim::lint

@@ -1,0 +1,98 @@
+// mcsim-lint — determinism-focused static analysis for the mcsim tree.
+//
+// The simulator's value rests on bit-stable replay: every cost table in the
+// paper is a point comparison between runs, and the memo cache plus the
+// reference-core differential tests assume a scenario's outcome is a pure
+// function of its inputs.  Sanitizers catch dynamic violations; this tool
+// statically blocks the classic regressions before they compile into the
+// binary — wall-clock reads, unseeded randomness, hash-order iteration
+// feeding ordered output, std::function or stray heap allocation creeping
+// back into the sim hot path, and taxonomy drift between obs::EventKind and
+// its exporters.
+//
+// Implementation is a lightweight lexer (comment/string stripping with line
+// fidelity) plus per-rule scanners over the stripped "code view" — no
+// libclang, no build dependency, so the linter runs in seconds on a bare
+// checkout and is itself unit-testable against fixture trees.
+//
+// Suppressions: a comment carrying the tool name, a colon, and allow(rule-id)
+// silences one rule for one line — its own line when trailing code, or the
+// first code line after the comment block when standalone (so a multi-line
+// justification can precede the code).  Unused suppressions are themselves
+// diagnosed (rule `unused-suppression`) so stale allows cannot accumulate.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mcsim::lint {
+
+/// One finding, formatted by callers as `file:line: [rule] message`.
+struct Diagnostic {
+  std::string file;  ///< Path relative to the linted root (generic slashes).
+  int line = 1;      ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// Static description of one rule, for --list-rules and the docs.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule catalog (stable order; ids are the suppression vocabulary).
+const std::vector<RuleInfo>& ruleCatalog();
+
+/// True if `id` names a known rule (unknown allow() targets are diagnosed).
+bool isKnownRule(const std::string& id);
+
+/// An in-memory file to lint.  `path` should be root-relative with forward
+/// slashes — the path prefix (src/mcsim/sim/, bench/, ...) scopes
+/// path-sensitive rules.
+struct FileContent {
+  std::string path;
+  std::string text;
+};
+
+struct Options {
+  /// Diagnose allow() suppression comments that suppressed nothing.
+  bool checkUnusedSuppressions = true;
+};
+
+// -- lexer (exposed for tests) ------------------------------------------------
+
+/// One physical line split into a code view (string/char-literal contents and
+/// comments blanked with spaces, lengths preserved) and the comment text.
+struct SourceLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Strip comments and literal contents, preserving line structure.  Handles
+/// //, /*...*/, "..." with escapes, '...', and R"delim(...)delim".
+std::vector<SourceLine> stripSource(const std::string& text);
+
+// -- entry points -------------------------------------------------------------
+
+/// Lint a set of in-memory files (the unit-test entry point).  Diagnostics
+/// are sorted by (file, line, rule) and already suppression-filtered.
+std::vector<Diagnostic> lintFiles(const std::vector<FileContent>& files,
+                                  const Options& options = {});
+
+/// Walk `root`'s subdirectories (default: src, tools, bench, examples),
+/// collecting *.hpp / *.cpp / *.hpp.in, and lint them.  `tools/lint` fixture
+/// directories named `fixtures` are skipped.  Returns diagnostics; sets
+/// `error` (if non-null) and returns empty on I/O failure.
+std::vector<Diagnostic> lintTree(const std::filesystem::path& root,
+                                 std::vector<std::string> subdirs = {},
+                                 const Options& options = {},
+                                 std::string* error = nullptr);
+
+/// Render diagnostics as a stable JSON document (for CI consumption):
+/// {"version":1,"findings":[{"file","line","rule","message"},...],
+///  "counts":{"<rule>":n,...},"total":n}
+std::string toJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace mcsim::lint
