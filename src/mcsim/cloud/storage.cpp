@@ -25,7 +25,7 @@ void StorageService::put(std::uint64_t key, Bytes size) {
   }
   residentBytes_ += size.value();
   curve_.add(sim_.now(), size);
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::StorageFilePut))
     observer_->onEvent(obs::Event{
         sim_.now(), obs::StorageFilePut{key, size.value(), residentBytes_,
                                         objects_.size()}});
@@ -40,7 +40,7 @@ void StorageService::erase(std::uint64_t key) {
   curve_.remove(sim_.now(), Bytes(it->second));
   const double bytes = it->second;
   objects_.erase(it);
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::StorageFileErased))
     observer_->onEvent(obs::Event{
         sim_.now(),
         obs::StorageFileErased{key, bytes, residentBytes_, objects_.size()}});

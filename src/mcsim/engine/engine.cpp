@@ -14,6 +14,7 @@
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/trace_export.hpp"
 #include "mcsim/obs/sampler.hpp"
+#include "mcsim/obs/selfprofile.hpp"
 #include "mcsim/obs/sink.hpp"
 #include "mcsim/sim/simulator.hpp"
 #include "mcsim/util/rng.hpp"
@@ -104,21 +105,31 @@ class Run {
     cfg.faults.validate();
   }
 
-  ExecutionResult execute() {
-    prepare();
-    scheduleOutages();
-    scheduleStorageOutages();
-    if (fcfg_.deadlineSeconds > 0.0)
-      sim_.schedule(fcfg_.deadlineSeconds, [this] { onDeadline(); });
-    if (obs_ != nullptr && cfg_.samplePeriodSeconds > 0.0) {
-      sampler_.emplace(sim_, cfg_.samplePeriodSeconds, [this] {
-        emit(obs::StorageSampled{storage_.residentBytes().value(),
-                                 storage_.objectCount()});
-      });
-      sampler_->start();
+  ExecutionResult execute(obs::PhaseProfiler* profiler = nullptr) {
+    {
+      MCSIM_TRACE_PHASE(profiler, obs::SimPhase::Setup);
+      prepare();
     }
-    sim_.schedule(cfg_.vmStartupSeconds, [this] { begin(); });
-    sim_.run();
+    {
+      MCSIM_TRACE_PHASE(profiler, obs::SimPhase::Schedule);
+      scheduleOutages();
+      scheduleStorageOutages();
+      if (fcfg_.deadlineSeconds > 0.0)
+        sim_.schedule(fcfg_.deadlineSeconds, [this] { onDeadline(); });
+      if (obs_ != nullptr && cfg_.samplePeriodSeconds > 0.0) {
+        sampler_.emplace(sim_, cfg_.samplePeriodSeconds, [this] {
+          emit(obs::StorageSampled{storage_.residentBytes().value(),
+                                   storage_.objectCount()});
+        });
+        sampler_->start();
+      }
+      sim_.schedule(cfg_.vmStartupSeconds, [this] { begin(); });
+    }
+    {
+      MCSIM_TRACE_PHASE(profiler, obs::SimPhase::EventLoop);
+      sim_.run();
+    }
+    MCSIM_TRACE_PHASE(profiler, obs::SimPhase::Extract);
     if (!finished_) {
       if (!blocked_.empty())
         throw std::runtime_error(
@@ -228,7 +239,10 @@ class Run {
   // -- telemetry ---------------------------------------------------------------
   template <class Payload>
   void emit(Payload&& payload) {
-    if (obs_ != nullptr)
+    // accepts() pre-filter: a rejected kind costs one predicted branch, not
+    // a 41-alternative variant construction plus a virtual dispatch.
+    using P = std::remove_cvref_t<Payload>;
+    if (obs_ != nullptr && obs_->accepts(obs::kEventKindOf<P>))
       obs_->onEvent(obs::Event{sim_.now(), std::forward<Payload>(payload)});
   }
 
@@ -834,8 +848,22 @@ class Run {
 ExecutionResult simulateWorkflow(const dag::Workflow& workflow,
                                  const EngineConfig& config) {
   Run::validate(workflow, config);
-  Run run(workflow, config);
-  return run.execute();
+  if (!config.profile || config.observer == nullptr) {
+    Run run(workflow, config);
+    return run.execute();
+  }
+  // Self-profiling path: time Run construction as Setup, let execute()
+  // attribute the rest, then surface the totals through the observer (after
+  // RunFinished, with time < 0 — wall-clock stays out of simulated time).
+  obs::PhaseProfiler profiler;
+  std::optional<Run> run;
+  {
+    MCSIM_TRACE_PHASE(&profiler, obs::SimPhase::Setup);
+    run.emplace(workflow, config);
+  }
+  ExecutionResult result = run->execute(&profiler);
+  profiler.emitTo(config.observer);
+  return result;
 }
 
 }  // namespace mcsim::engine

@@ -94,6 +94,12 @@ struct EngineConfig {
   /// > 0: emit obs::StorageSampled every this many simulated seconds while
   /// the run is active (requires `observer`).  0 disables sampling.
   double samplePeriodSeconds = 0.0;
+  /// Emit obs::PhaseProfile events (simulator self wall-clock per internal
+  /// phase: setup / schedule / event loop / extract) to `observer` after the
+  /// run.  Off by default so wall-clock never enters captured event streams
+  /// — replay and the scenario memo cache stay deterministic; the runner
+  /// force-disables it on worker threads for the same reason.
+  bool profile = false;
   /// Run on the reference (pre-overhaul) simulation core: the lazy-deletion
   /// priority-queue event calendar and the O(n)-rescan link scheduler.
   /// Results match the optimized core up to floating-point accumulation

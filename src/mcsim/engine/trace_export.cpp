@@ -47,28 +47,34 @@ std::string jsonEscape(const std::string& s) {
 
 }  // namespace
 
-void TimelineSink::onEvent(const obs::Event& event) {
-  const auto at = [&](std::uint32_t task) -> TaskRecord& {
-    return records_.at(task);
-  };
-  switch (obs::kind(event)) {
-    case obs::EventKind::TaskReady:
-      at(std::get<obs::TaskReady>(event.payload).task).readyTime = event.time;
-      break;
-    case obs::EventKind::TaskStarted:
-      at(std::get<obs::TaskStarted>(event.payload).task).startTime = event.time;
-      break;
-    case obs::EventKind::TaskExecStarted: {
-      TaskRecord& r = at(std::get<obs::TaskExecStarted>(event.payload).task);
-      if (r.execStart < 0.0) r.execStart = event.time;
-      break;
+std::vector<TaskRecord> TimelineSink::records() const {
+  std::vector<TaskRecord> out(taskCount_);
+  // Spans are appended in event order, so the first span of a kind for a
+  // task is the earliest — exactly the legacy "keep the first exec start"
+  // rule.  Tasks the stream never mentioned keep every field at -1.
+  for (std::uint32_t s = 0; s < store_.spanCount(); ++s) {
+    const std::uint32_t task = store_.task(s);
+    if (task == obs::kNoTask || task >= taskCount_) continue;
+    TaskRecord& r = out[task];
+    switch (store_.kind(s)) {
+      case obs::SpanKind::QueueWait:
+        if (r.readyTime < 0.0) r.readyTime = store_.begin(s);
+        break;
+      case obs::SpanKind::Task:
+        if (r.startTime < 0.0) r.startTime = store_.begin(s);
+        // Failed tasks keep finishTime = -1: the legacy sink only folded
+        // TaskFinished, never TaskFailed.
+        if (!store_.isOpen(s) && !store_.isFailed(s))
+          r.finishTime = store_.end(s);
+        break;
+      case obs::SpanKind::Compute:
+        if (r.execStart < 0.0) r.execStart = store_.begin(s);
+        break;
+      default:
+        break;
     }
-    case obs::EventKind::TaskFinished:
-      at(std::get<obs::TaskFinished>(event.payload).task).finishTime =
-          event.time;
-      break;
-    default: break;
   }
+  return out;
 }
 
 void writeTraceCsv(std::ostream& os, const dag::Workflow& wf,

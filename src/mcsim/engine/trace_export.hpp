@@ -18,30 +18,39 @@
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/metrics.hpp"
 #include "mcsim/obs/sink.hpp"
+#include "mcsim/obs/trace.hpp"
 
 namespace mcsim::engine {
 
-/// Folds TaskReady/TaskStarted/TaskExecStarted/TaskFinished events into
-/// per-task timelines.  Retried attempts keep the first exec start, matching
-/// the historical TaskRecord semantics (the record spans the whole billed
-/// occupancy of the task).
+/// Folds the task lifecycle events into per-task timelines.  Since PR-6 this
+/// is a thin adapter over obs::SpanSink/TraceStore — spans are the single
+/// source of truth and TaskRecord rows are derived views (first queue-wait
+/// begin = readyTime, Task-span begin = startTime, first Compute begin =
+/// execStart, successful Task-span end = finishTime; unfinished or failed
+/// tasks keep the historical -1 sentinels).  Retried attempts keep the first
+/// exec start, matching the historical TaskRecord semantics (the record
+/// spans the whole billed occupancy of the task).
 class TimelineSink final : public obs::Sink {
  public:
-  explicit TimelineSink(std::size_t taskCount) : records_(taskCount) {}
+  explicit TimelineSink(std::size_t taskCount)
+      : taskCount_(taskCount), sink_(store_) {}
 
-  void onEvent(const obs::Event& event) override;
+  void onEvent(const obs::Event& event) override { sink_.onEvent(event); }
   bool accepts(obs::EventKind kind) const override {
-    return kind == obs::EventKind::TaskReady ||
-           kind == obs::EventKind::TaskStarted ||
-           kind == obs::EventKind::TaskExecStarted ||
-           kind == obs::EventKind::TaskFinished;
+    return sink_.accepts(kind);
   }
 
-  const std::vector<TaskRecord>& records() const { return records_; }
-  std::vector<TaskRecord> take() { return std::move(records_); }
+  /// Derive the legacy per-task rows from the span store.
+  std::vector<TaskRecord> records() const;
+  std::vector<TaskRecord> take() { return records(); }
+
+  /// The underlying span store (borrowed; valid while the sink lives).
+  const obs::TraceStore& trace() const { return store_; }
 
  private:
-  std::vector<TaskRecord> records_;
+  std::size_t taskCount_;
+  obs::TraceStore store_;
+  obs::SpanSink sink_;
 };
 
 /// CSV: task,type,level,ready_s,start_s,exec_start_s,finish_s.

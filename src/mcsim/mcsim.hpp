@@ -38,8 +38,10 @@
 #include "mcsim/obs/metrics.hpp"
 #include "mcsim/obs/report.hpp"
 #include "mcsim/obs/sampler.hpp"
+#include "mcsim/obs/selfprofile.hpp"
 #include "mcsim/obs/sink.hpp"
 #include "mcsim/obs/telemetry.hpp"
+#include "mcsim/obs/trace.hpp"
 
 #include "mcsim/sim/link.hpp"
 #include "mcsim/sim/processor_pool.hpp"
@@ -73,6 +75,7 @@
 
 #include "mcsim/analysis/economics.hpp"
 #include "mcsim/analysis/experiments.hpp"
+#include "mcsim/analysis/explain.hpp"
 #include "mcsim/analysis/model.hpp"
 #include "mcsim/analysis/placement.hpp"
 #include "mcsim/analysis/planner.hpp"

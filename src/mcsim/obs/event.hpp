@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <variant>
 
 namespace mcsim::obs {
@@ -213,6 +214,38 @@ struct ScenarioCacheStats {
   std::size_t entries;
 };
 
+// -- self-profiling -----------------------------------------------------------
+/// Wall-clock spent by the simulator itself in one internal phase of a run
+/// (setup / schedule / event loop / extract; `phase` is the integer value of
+/// obs::SimPhase).  Emitted after the run, only when EngineConfig::profile is
+/// set — wall-clock never enters a captured event stream by default, so
+/// replay and memoisation stay deterministic.
+struct PhaseProfile {
+  std::uint8_t phase;
+  double wallSeconds;
+};
+
+/// One runner worker's contribution to a batch: scenarios executed, wall-clock
+/// spent simulating (`busySeconds`), and the worker's total lifetime
+/// (`wallSeconds`); busy/wall is the worker's utilization.  Emitted after
+/// ScenarioCacheStats, only when RunnerOptions::profile is set.
+struct WorkerProfile {
+  int worker;
+  std::size_t scenarios;
+  double busySeconds;
+  double wallSeconds;
+};
+
+/// Whole-batch runner profile: configured parallelism, scenario count, how
+/// many were served from the memo cache, and end-to-end batch wall-clock.
+/// Emitted last, only when RunnerOptions::profile is set.
+struct RunnerBatchProfile {
+  int jobs;
+  std::size_t scenarios;
+  std::size_t cached;
+  double wallSeconds;
+};
+
 // -- logging ------------------------------------------------------------------
 /// A util/log message routed through the event bus (satellite of the single
 /// logging path).  `level` is the integer value of mcsim::LogLevel.
@@ -233,7 +266,7 @@ using Payload = std::variant<
     StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted,
     ProcessorCrashed, TaskRetryScheduled, TaskFailed, TaskAbandoned,
     StorageOutageStarted, StorageOutageEnded, DeadlineExceeded,
-    ScenarioCacheStats>;
+    ScenarioCacheStats, PhaseProfile, WorkerProfile, RunnerBatchProfile>;
 
 enum class EventKind : std::uint8_t {
   SimEventScheduled,
@@ -274,9 +307,12 @@ enum class EventKind : std::uint8_t {
   StorageOutageEnded,
   DeadlineExceeded,
   ScenarioCacheStats,
+  PhaseProfile,
+  WorkerProfile,
+  RunnerBatchProfile,
 };
 
-inline constexpr std::size_t kEventKindCount = 38;
+inline constexpr std::size_t kEventKindCount = 41;
 static_assert(std::variant_size_v<Payload> == kEventKindCount,
               "EventKind and Payload must list the same alternatives");
 
@@ -290,6 +326,28 @@ struct Event {
 inline EventKind kind(const Event& event) {
   return static_cast<EventKind>(event.payload.index());
 }
+
+namespace detail {
+template <class T, class Variant>
+struct PayloadIndex;
+template <class T, class... Ts>
+struct PayloadIndex<T, std::variant<Ts...>> {
+  static constexpr std::size_t value = [] {
+    constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+    for (std::size_t i = 0; i < sizeof...(Ts); ++i)
+      if (matches[i]) return i;
+    return sizeof...(Ts);
+  }();
+  static_assert(value < sizeof...(Ts), "T is not a Payload alternative");
+};
+}  // namespace detail
+
+/// Compile-time EventKind of a payload type — lets emitters ask
+/// `sink->accepts(kEventKindOf<T>)` *before* constructing the Event variant,
+/// so rejected kinds cost one predicted branch and no payload work.
+template <class T>
+inline constexpr EventKind kEventKindOf =
+    static_cast<EventKind>(detail::PayloadIndex<T, Payload>::value);
 
 /// Stable snake_case name of an event kind (the JSONL "type" field).
 const char* eventName(EventKind kind);

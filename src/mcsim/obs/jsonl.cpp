@@ -161,6 +161,22 @@ struct Writer {
     os << ",\"hits\":" << p.hits << ",\"misses\":" << p.misses
        << ",\"entries\":" << p.entries;
   }
+  void operator()(const PhaseProfile& p) {
+    os << ",\"phase\":" << static_cast<int>(p.phase) << ",\"wall_seconds\":";
+    num(os, p.wallSeconds);
+  }
+  void operator()(const WorkerProfile& p) {
+    os << ",\"worker\":" << p.worker << ",\"scenarios\":" << p.scenarios
+       << ",\"busy_seconds\":";
+    num(os, p.busySeconds);
+    os << ",\"wall_seconds\":";
+    num(os, p.wallSeconds);
+  }
+  void operator()(const RunnerBatchProfile& p) {
+    os << ",\"jobs\":" << p.jobs << ",\"scenarios\":" << p.scenarios
+       << ",\"cached\":" << p.cached << ",\"wall_seconds\":";
+    num(os, p.wallSeconds);
+  }
 
   void stage(std::uint32_t file, std::uint32_t task, double bytes) {
     os << ",\"file\":" << file;

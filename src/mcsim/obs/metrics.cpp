@@ -169,7 +169,36 @@ MetricsSink::MetricsSink(MetricsRegistry& registry)
           {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0})),
       taskExec_(registry.histogram(
           "mcsim_task_exec_seconds", "Computation time per task",
-          {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0})) {}
+          {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0})),
+      cacheHits_(registry.counter("mcsim_scenario_cache_hits_total",
+                                  "Scenarios served from the memo cache")),
+      cacheMisses_(registry.counter("mcsim_scenario_cache_misses_total",
+                                    "Scenarios that had to be simulated")),
+      cacheEntries_(registry.gauge("mcsim_scenario_cache_entries",
+                                   "Memo-cache population after the batch")),
+      workerBusySeconds_(registry.counter(
+          "mcsim_runner_worker_busy_seconds_total",
+          "Wall-clock runner workers spent simulating scenarios")),
+      workerScenarios_(registry.counter(
+          "mcsim_runner_worker_scenarios_total",
+          "Scenarios executed by runner workers")),
+      runnerJobs_(registry.gauge("mcsim_runner_jobs",
+                                 "Configured runner parallelism")),
+      runnerBatches_(registry.counter("mcsim_runner_batches_total",
+                                      "Runner batches executed")),
+      runnerBatchSeconds_(registry.counter(
+          "mcsim_runner_batch_seconds_total",
+          "End-to-end wall-clock across runner batches")),
+      runnerCachedScenarios_(registry.counter(
+          "mcsim_runner_cached_scenarios_total",
+          "Scenarios satisfied without simulation across batches")) {
+  for (std::size_t i = 0; i < kSimPhaseCount; ++i)
+    selfPhaseSeconds_[i] = &registry.counter(
+        std::string("mcsim_self_") + simPhaseName(static_cast<SimPhase>(i)) +
+            "_seconds_total",
+        std::string("Simulator wall-clock spent in the ") +
+            simPhaseName(static_cast<SimPhase>(i)) + " phase");
+}
 
 void MetricsSink::onEvent(const Event& event) {
   switch (kind(event)) {
@@ -266,6 +295,33 @@ void MetricsSink::onEvent(const Event& event) {
     case EventKind::TaskAbandoned: tasksAbandoned_.increment(); break;
     case EventKind::FileCleanupDeleted: cleanupDeletes_.increment(); break;
     case EventKind::LogEmitted: logMessages_.increment(); break;
+    case EventKind::ScenarioCacheStats: {
+      const auto& p = std::get<ScenarioCacheStats>(event.payload);
+      cacheHits_.increment(static_cast<double>(p.hits));
+      cacheMisses_.increment(static_cast<double>(p.misses));
+      cacheEntries_.set(static_cast<double>(p.entries));
+      break;
+    }
+    case EventKind::PhaseProfile: {
+      const auto& p = std::get<PhaseProfile>(event.payload);
+      if (p.phase < kSimPhaseCount)
+        selfPhaseSeconds_[p.phase]->increment(p.wallSeconds);
+      break;
+    }
+    case EventKind::WorkerProfile: {
+      const auto& p = std::get<WorkerProfile>(event.payload);
+      workerBusySeconds_.increment(p.busySeconds);
+      workerScenarios_.increment(static_cast<double>(p.scenarios));
+      break;
+    }
+    case EventKind::RunnerBatchProfile: {
+      const auto& p = std::get<RunnerBatchProfile>(event.payload);
+      runnerJobs_.set(p.jobs);
+      runnerBatches_.increment();
+      runnerBatchSeconds_.increment(p.wallSeconds);
+      runnerCachedScenarios_.increment(static_cast<double>(p.cached));
+      break;
+    }
     default: break;  // progress, suspend/resume, run markers, line items
   }
 }

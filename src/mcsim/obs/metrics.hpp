@@ -9,6 +9,7 @@
 // throws.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <ostream>
@@ -16,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mcsim/obs/selfprofile.hpp"
 #include "mcsim/obs/sink.hpp"
 
 namespace mcsim::obs {
@@ -142,6 +144,18 @@ class MetricsSink final : public Sink {
   Histogram& transferSize_;
   Histogram& taskWait_;
   Histogram& taskExec_;
+  // Self-profiling + runner instruments (PR-6 observability layer).
+  Counter& cacheHits_;
+  Counter& cacheMisses_;
+  Gauge& cacheEntries_;
+  Counter& workerBusySeconds_;
+  Counter& workerScenarios_;
+  Gauge& runnerJobs_;
+  Counter& runnerBatches_;
+  Counter& runnerBatchSeconds_;
+  Counter& runnerCachedScenarios_;
+  /// Simulator wall-clock per internal phase, indexed by obs::SimPhase.
+  std::array<Counter*, kSimPhaseCount> selfPhaseSeconds_{};
 
   /// TaskReady/TaskExecStarted times, pending the matching start/finish.
   std::unordered_map<std::uint32_t, double> readyAt_;

@@ -1,0 +1,23 @@
+#include "mcsim/obs/selfprofile.hpp"
+
+namespace mcsim::obs {
+
+const char* simPhaseName(SimPhase phase) {
+  switch (phase) {
+    case SimPhase::Setup: return "setup";
+    case SimPhase::Schedule: return "schedule";
+    case SimPhase::EventLoop: return "event_loop";
+    case SimPhase::Extract: return "extract";
+  }
+  return "unknown";
+}
+
+void PhaseProfiler::emitTo(Sink* sink) const {
+  if (sink == nullptr) return;
+  if (!sink->accepts(EventKind::PhaseProfile)) return;
+  for (std::size_t i = 0; i < kSimPhaseCount; ++i)
+    sink->onEvent(Event{
+        -1.0, PhaseProfile{static_cast<std::uint8_t>(i), seconds_[i]}});
+}
+
+}  // namespace mcsim::obs

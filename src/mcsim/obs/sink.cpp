@@ -55,6 +55,9 @@ const char* eventName(EventKind kind) {
     case EventKind::StorageOutageEnded: return "storage_outage_ended";
     case EventKind::DeadlineExceeded: return "deadline_exceeded";
     case EventKind::ScenarioCacheStats: return "scenario_cache_stats";
+    case EventKind::PhaseProfile: return "phase_profile";
+    case EventKind::WorkerProfile: return "worker_profile";
+    case EventKind::RunnerBatchProfile: return "runner_batch_profile";
   }
   return "unknown";
 }

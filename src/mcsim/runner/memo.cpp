@@ -108,6 +108,7 @@ std::uint64_t fingerprintConfig(const engine::EngineConfig& config,
   h.u64(config.failureSeed);
   h.u8(config.trace ? 1 : 0);
   h.f64(config.samplePeriodSeconds);
+  h.u8(config.profile ? 1 : 0);
   h.u8(config.referenceCore ? 1 : 0);
 
   const faults::FaultConfig& f = config.faults;

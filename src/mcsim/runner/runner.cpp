@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include <unordered_map>
 
 #include "mcsim/dag/workflow.hpp"
+#include "mcsim/obs/selfprofile.hpp"
 #include "mcsim/obs/sink.hpp"
 #include "mcsim/runner/memo.hpp"
 
@@ -42,6 +44,10 @@ void runOne(const ScenarioSpec& spec, std::size_t i,
   engine::EngineConfig cfg = spec.config;
   if (options.baseSeed != 0)
     cfg.faults.seed = deriveSeed(options.baseSeed, i);
+  // Self-profiling would put host wall-clock into the captured stream,
+  // breaking merge determinism and memo-cache replay; runner-level profiling
+  // lives in RunnerOptions::profile instead.
+  cfg.profile = false;
   obs::CollectingSink collector;
   cfg.observer = capture ? &collector : nullptr;
   out.result = engine::simulateWorkflow(*spec.workflow, cfg);
@@ -152,6 +158,39 @@ void emitCacheStats(const ScenarioMemoCache& cache, const MemoStats& before,
                                    after.entries}});
 }
 
+/// Monotonic wall-clock for the runner's opt-in self-profiling.  Readings
+/// reach the outside world only through WorkerProfile/RunnerBatchProfile
+/// events appended after the deterministic merged stream, and only when
+/// RunnerOptions::profile is set — they are never captured, memoized or
+/// merged into per-scenario streams.
+double wallNow() {
+  return std::chrono::duration<double>(
+             obs::ProfileClock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-worker busy/scenario tallies for RunnerOptions::profile.
+struct WorkerTally {
+  double busySeconds = 0.0;
+  double wallSeconds = 0.0;
+  std::size_t scenarios = 0;
+};
+
+void emitProfile(const RunnerOptions& options,
+                 const std::vector<WorkerTally>& tallies,
+                 std::size_t scenarios, std::size_t cached,
+                 double batchWallSeconds) {
+  if (!options.profile || options.observer == nullptr) return;
+  for (std::size_t w = 0; w < tallies.size(); ++w)
+    options.observer->onEvent(obs::Event{
+        -1.0, obs::WorkerProfile{static_cast<int>(w), tallies[w].scenarios,
+                                 tallies[w].busySeconds,
+                                 tallies[w].wallSeconds}});
+  options.observer->onEvent(obs::Event{
+      -1.0, obs::RunnerBatchProfile{options.jobs, scenarios, cached,
+                                    batchWallSeconds}});
+}
+
 }  // namespace
 
 int defaultJobs() {
@@ -174,6 +213,8 @@ std::vector<ScenarioResult> Runner::run(
   validate(specs, options_);
   const std::size_t n = specs.size();
   const bool capture = options_.observer != nullptr || options_.keepEvents;
+  const bool profile = options_.profile && options_.observer != nullptr;
+  const double batchStart = profile ? wallNow() : 0.0;
   std::vector<ScenarioResult> results(n);
 
   // With a cache, classify the whole batch up front; only `toRun`
@@ -194,6 +235,17 @@ std::vector<ScenarioResult> Runner::run(
     // in the caller's thread, in spec order, merging each scenario's events
     // as it completes so failures propagate at the same point they would
     // have in the old serial sweeps.
+    std::vector<WorkerTally> tally(profile ? 1 : 0);
+    const auto timedRunOne = [&](std::size_t i) {
+      if (!profile) {
+        runOne(specs[i], i, options_, capture, results[i]);
+        return;
+      }
+      const double t0 = wallNow();
+      runOne(specs[i], i, options_, capture, results[i]);
+      tally[0].busySeconds += wallNow() - t0;
+      ++tally[0].scenarios;
+    };
     for (std::size_t i = 0; i < n; ++i) {
       if (options_.cache != nullptr) {
         if (plan.dupOf[i] != kRunFresh) {
@@ -201,16 +253,21 @@ std::vector<ScenarioResult> Runner::run(
           fillFromEntry(std::move(*options_.cache->peek(plan.keys[i])),
                         specs[i], i, results[i]);
         } else if (!results[i].fromCache) {
-          runOne(specs[i], i, options_, capture, results[i]);
+          timedRunOne(i);
           insertEntry(*options_.cache, plan.keys[i], results[i], capture);
         }
       } else {
-        runOne(specs[i], i, options_, capture, results[i]);
+        timedRunOne(i);
       }
       mergeOne(results[i], options_);
     }
     if (options_.cache != nullptr)
       emitCacheStats(*options_.cache, plan.before, options_.observer);
+    if (profile) {
+      tally[0].wallSeconds = wallNow() - batchStart;
+      emitProfile(options_, tally, n, n - plan.toRun.size(),
+                  tally[0].wallSeconds);
+    }
     return results;
   }
 
@@ -220,13 +277,25 @@ std::vector<ScenarioResult> Runner::run(
   std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
 
-  auto worker = [&]() {
+  std::vector<WorkerTally> tally(profile ? static_cast<std::size_t>(workers)
+                                         : 0);
+
+  auto worker = [&](int w) {
+    const double workerStart = profile ? wallNow() : 0.0;
     while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= plan.toRun.size()) return;
+      if (k >= plan.toRun.size()) break;
       const std::size_t i = plan.toRun[k];
       try {
-        runOne(specs[i], i, options_, capture, results[i]);
+        if (profile) {
+          const double t0 = wallNow();
+          runOne(specs[i], i, options_, capture, results[i]);
+          auto& t = tally[static_cast<std::size_t>(w)];
+          t.busySeconds += wallNow() - t0;
+          ++t.scenarios;
+        } else {
+          runOne(specs[i], i, options_, capture, results[i]);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         // Keep the lowest-index failure so the error a caller sees does not
@@ -238,11 +307,13 @@ std::vector<ScenarioResult> Runner::run(
         cancelled.store(true, std::memory_order_relaxed);
       }
     }
+    if (profile)
+      tally[static_cast<std::size_t>(w)].wallSeconds = wallNow() - workerStart;
   };
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (std::thread& t : pool) t.join();
 
   if (error) std::rethrow_exception(error);
@@ -257,6 +328,9 @@ std::vector<ScenarioResult> Runner::run(
   mergeEvents(results, options_);
   if (options_.cache != nullptr)
     emitCacheStats(*options_.cache, plan.before, options_.observer);
+  if (profile)
+    emitProfile(options_, tally, n, n - plan.toRun.size(),
+                wallNow() - batchStart);
   return results;
 }
 

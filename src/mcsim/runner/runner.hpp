@@ -98,6 +98,14 @@ struct RunnerOptions {
   /// set, one obs::ScenarioCacheStats event is appended after the merged
   /// streams.
   ScenarioMemoCache* cache = nullptr;
+  /// Emit runner self-profiling events (one obs::WorkerProfile per worker,
+  /// then one obs::RunnerBatchProfile) to `observer` after the merged
+  /// streams and cache stats.  Off by default: the profile events carry
+  /// host wall-clock, so they are appended *after* the deterministic merged
+  /// stream and never captured, memoized, or kept in ScenarioResult::events.
+  /// Scenario configs always run with EngineConfig::profile forced off for
+  /// the same reason.
+  bool profile = false;
 };
 
 class Runner {

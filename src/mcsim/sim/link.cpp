@@ -57,7 +57,7 @@ Link::TransferId Link::startTransfer(Bytes size, CompletionHandler onComplete) {
   active_.emplace(
       id, Transfer{bytes, bytes, finishV, sim_.now(), std::move(onComplete)});
   if (!reference_) finishHeap_.push({finishV, id});
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::TransferStarted))
     observer_->onEvent(
         obs::Event{sim_.now(), obs::TransferStarted{id, bytes, active_.size()}});
   reschedule();
@@ -87,7 +87,8 @@ void Link::resume() {
 }
 
 void Link::emitShareChange(double rate) {
-  if (observer_ && rate != lastEmittedRate_) {
+  if (observer_ && rate != lastEmittedRate_ &&
+      observer_->accepts(obs::EventKind::LinkShareChanged)) {
     observer_->onEvent(
         obs::Event{sim_.now(), obs::LinkShareChanged{active_.size(), rate}});
     lastEmittedRate_ = rate;
@@ -129,7 +130,7 @@ void Link::completeFinished() {
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.remainingBytes <= completionThreshold(it->second.totalBytes)) {
       completedBytes_ += it->second.totalBytes;
-      if (observer_)
+      if (observer_ && observer_->accepts(obs::EventKind::TransferFinished))
         observer_->onEvent(obs::Event{
             sim_.now(),
             obs::TransferFinished{it->first, it->second.totalBytes,
@@ -191,7 +192,7 @@ void Link::completeFinishedIncremental() {
   for (const TransferId id : doneIds) {
     const auto it = active_.find(id);
     completedBytes_ += it->second.totalBytes;
-    if (observer_)
+    if (observer_ && observer_->accepts(obs::EventKind::TransferFinished))
       observer_->onEvent(obs::Event{
           sim_.now(), obs::TransferFinished{id, it->second.totalBytes,
                                             sim_.now() - it->second.startTime}});

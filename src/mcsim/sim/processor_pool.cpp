@@ -27,7 +27,7 @@ void ProcessorPool::acquire(GrantHandler onGranted) {
     grantOne();
     return;
   }
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::ProcessorQueued))
     observer_->onEvent(
         obs::Event{sim_.now(), obs::ProcessorQueued{waiting_.size()}});
 }
@@ -40,7 +40,7 @@ void ProcessorPool::grantOne() {
   ++busy_;
   GrantHandler handler = std::move(waiting_.front());
   waiting_.pop_front();
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::ProcessorClaimed))
     observer_->onEvent(obs::Event{
         sim_.now(), obs::ProcessorClaimed{busy_, count_, waiting_.size()}});
   sim_.scheduleAfter(0.0, std::move(handler));
@@ -51,7 +51,7 @@ void ProcessorPool::release() {
     throw std::logic_error("ProcessorPool::release: no processor is busy");
   accrue();
   --busy_;
-  if (observer_)
+  if (observer_ && observer_->accepts(obs::EventKind::ProcessorReleased))
     observer_->onEvent(obs::Event{
         sim_.now(), obs::ProcessorReleased{busy_, count_, waiting_.size()}});
   if (!waiting_.empty()) grantOne();

@@ -19,6 +19,16 @@ Simulator::Simulator(const SimulatorOptions& options)
   if (!reference_) idSlot_.push_back(kNpos);  // index 0 = kInvalidEvent
 }
 
+void Simulator::setObserver(obs::Sink* observer) {
+  observer_ = observer;
+  emitScheduled_ =
+      observer != nullptr && observer->accepts(obs::EventKind::SimEventScheduled);
+  emitCancelled_ =
+      observer != nullptr && observer->accepts(obs::EventKind::SimEventCancelled);
+  emitFired_ =
+      observer != nullptr && observer->accepts(obs::EventKind::SimEventFired);
+}
+
 // -- arena helpers -----------------------------------------------------------
 
 std::uint32_t Simulator::allocSlot() {
@@ -120,7 +130,7 @@ EventId Simulator::schedule(double time, Callback cb) {
     siftUp(heap_.size() - 1);
     idSlot_.push_back(s);
   }
-  if (observer_)
+  if (emitScheduled_)
     observer_->onEvent(obs::Event{now_, obs::SimEventScheduled{id, time}});
   return id;
 }
@@ -146,7 +156,7 @@ bool Simulator::cancel(EventId id) {
     idSlot_[static_cast<std::size_t>(id)] = kNpos;
     freeSlot(s);
   }
-  if (observer_)
+  if (emitCancelled_)
     observer_->onEvent(obs::Event{now_, obs::SimEventCancelled{id}});
   return true;
 }
@@ -167,7 +177,7 @@ void Simulator::stepArena() {
   removeFromHeap(0);
   idSlot_[static_cast<std::size_t>(id)] = kNpos;
   freeSlot(s);
-  if (observer_) observer_->onEvent(obs::Event{now_, obs::SimEventFired{id}});
+  if (emitFired_) observer_->onEvent(obs::Event{now_, obs::SimEventFired{id}});
   fn();
 }
 
@@ -178,7 +188,7 @@ void Simulator::stepReference() {
     if (refPending_.erase(ev.id) == 0) continue;  // was cancelled; drop lazily
     now_ = ev.time;
     ++processed_;
-    if (observer_)
+    if (emitFired_)
       observer_->onEvent(obs::Event{now_, obs::SimEventFired{ev.id}});
     (*ev.callback)();
     return;

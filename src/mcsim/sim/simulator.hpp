@@ -225,7 +225,10 @@ class Simulator {
   /// Install a telemetry sink observing the calendar (scheduled / fired /
   /// cancelled events); nullptr disables.  Disabled observation costs one
   /// pointer test per operation.
-  void setObserver(obs::Sink* observer) { observer_ = observer; }
+  /// Install the event observer.  The accepts() verdict for the calendar
+  /// kinds (SimEventScheduled/Fired/Cancelled — the hottest emissions in the
+  /// simulator) is cached here; accepts() is contractually stable for a run.
+  void setObserver(obs::Sink* observer);
   obs::Sink* observer() const { return observer_; }
 
  private:
@@ -277,6 +280,9 @@ class Simulator {
   EventId nextId_ = 1;
   std::size_t processed_ = 0;
   obs::Sink* observer_ = nullptr;
+  bool emitScheduled_ = false;  ///< Cached observer_->accepts(SimEventScheduled).
+  bool emitCancelled_ = false;  ///< Cached observer_->accepts(SimEventCancelled).
+  bool emitFired_ = false;      ///< Cached observer_->accepts(SimEventFired).
 };
 
 }  // namespace mcsim::sim

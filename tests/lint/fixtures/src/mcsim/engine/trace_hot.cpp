@@ -1,0 +1,18 @@
+// Seeded trace-macro violations: raw span/phase emission on the engine hot
+// path must go through the MCSIM_TRACE_* macros, plus one macro-wrapped call
+// and one justified (suppressed) direct emission.  Fixtures are linted, not
+// compiled, so the referenced types stay undeclared.
+namespace lintfix::engine {
+
+void hotLoop(obs::TraceStore& store, obs::PhaseProfiler& profiler) {
+  const auto s = store.beginSpan(0, 1.0);  // line 8: trace-macro
+  store.endSpan(s, 2.0);                   // line 9: trace-macro
+  store.addCounterSample(2.0, 64.0, 1.0);  // line 10: trace-macro
+  obs::ScopedPhase manual(&profiler);      // line 11: trace-macro
+  MCSIM_TRACE_PHASE(&profiler, obs::SimPhase::EventLoop);  // wrapped: ok
+  // mcsim-lint: allow(trace-macro) — fixture: a justified direct emission
+  // that the suppression machinery must swallow (and count as used).
+  store.addCounterSample(3.0, 64.0, 1.0);
+}
+
+}  // namespace lintfix::engine

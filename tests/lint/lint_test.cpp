@@ -41,6 +41,10 @@ constexpr Expected kExpectedFixtureFindings[] = {
     {"src/mcsim/core/nondet.cpp", 18, "no-wallclock"},
     {"src/mcsim/core/stale.cpp", 5, "unused-suppression"},
     {"src/mcsim/core/stale.cpp", 8, "unused-suppression"},
+    {"src/mcsim/engine/trace_hot.cpp", 8, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 9, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 10, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 11, "trace-macro"},
     {"src/mcsim/obs/event.hpp", 20, "event-taxonomy"},
     {"src/mcsim/obs/jsonl.cpp", 6, "event-taxonomy"},
     {"src/mcsim/obs/sink.cpp", 6, "event-taxonomy"},
@@ -165,6 +169,25 @@ TEST(LintRules, PlacementNewIsNotAnAllocation) {
   const auto diags = lintOne("src/mcsim/sim/x.cpp",
                              "void f(void* p) { ::new (p) int(7); }\n");
   EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, TraceMacroGuardsHotPathsOnly) {
+  const std::string direct = "void f(S& s) { s.beginSpan(0, 1.0); }\n";
+  // Direct emission is flagged in sim/engine/runner ...
+  for (const char* path : {"src/mcsim/sim/x.cpp", "src/mcsim/engine/x.cpp",
+                           "src/mcsim/runner/x.cpp"}) {
+    const auto diags = lintOne(path, direct);
+    ASSERT_EQ(diags.size(), 1u) << path;
+    EXPECT_EQ(diags[0].rule, "trace-macro");
+  }
+  // ... but not in the obs implementation or cold analysis/tool code,
+  EXPECT_TRUE(lintOne("src/mcsim/obs/x.cpp", direct).empty());
+  EXPECT_TRUE(lintOne("src/mcsim/analysis/x.cpp", direct).empty());
+  EXPECT_TRUE(lintOne("tools/x.cpp", direct).empty());
+  // and a macro-wrapped line is exempt wherever it appears.
+  EXPECT_TRUE(lintOne("src/mcsim/engine/x.cpp",
+                      "void f(P* p) { MCSIM_TRACE_PHASE(p, Phase::Loop); }\n")
+                  .empty());
 }
 
 // -- suppressions ------------------------------------------------------------

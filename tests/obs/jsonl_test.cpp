@@ -95,6 +95,9 @@ TEST(EventJson, EveryPayloadAlternativeSerializesToValidJson) {
       {0.0, StorageOutageEnded{}},
       {0.0, DeadlineExceeded{5}},
       {0.0, ScenarioCacheStats{3, 1, 4}},
+      {0.0, PhaseProfile{2, 0.125}},
+      {0.0, WorkerProfile{0, 5, 0.75, 1.0}},
+      {0.0, RunnerBatchProfile{4, 20, 3, 1.5}},
   };
   ASSERT_EQ(one_of_each.size(), kEventKindCount);
   for (const Event& e : one_of_each) {

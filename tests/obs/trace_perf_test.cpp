@@ -1,0 +1,54 @@
+// Million-span stress: the SoA TraceStore and the .mctrace round-trip must
+// stay exact (and ASan-clean) at the scale the ROADMAP targets for survey
+// campaigns.  Labeled `perf` — excluded from the default ctest lane.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mcsim/obs/trace.hpp"
+
+namespace mcsim::obs {
+namespace {
+
+TEST(TracePerf, MillionSpanStoreRoundTripsThroughMctrace) {
+  constexpr std::uint32_t kTasks = 1'000'000;
+  TraceStore store;
+  store.reserve(kTasks + 1);
+
+  SpanSink sink(store);
+  sink.onEvent({0.0, RunStarted{kTasks, 0, 64}});
+
+  // Synthetic saturated pipeline: waves of 64 concurrent tasks, emitted in
+  // time order so every wave occupies all 64 lanes at once.
+  constexpr std::uint32_t kLanes = 64;
+  constexpr std::uint32_t kWaves = kTasks / kLanes;
+  double finish = 0.0;
+  for (std::uint32_t w = 0; w < kWaves; ++w) {
+    const double start = static_cast<double>(w) * 1.25;
+    finish = start + 1.0;
+    for (std::uint32_t i = 0; i < kLanes; ++i) {
+      const std::uint32_t t = w * kLanes + i;
+      sink.onEvent({start, TaskReady{t}});
+      sink.onEvent({start, TaskStarted{t}});
+      sink.onEvent({start, TaskExecStarted{t}});
+    }
+    for (std::uint32_t i = 0; i < kLanes; ++i)
+      sink.onEvent({finish, TaskFinished{w * kLanes + i, 1.0}});
+  }
+  sink.onEvent({finish, RunFinished{finish}});
+
+  // Run + per-task (queue wait, task, compute).
+  ASSERT_EQ(store.spanCount(), 1u + 3u * kTasks);
+  EXPECT_EQ(store.laneCount(), static_cast<int>(kLanes));
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  writeMctrace(buf, store);
+  const TraceStore reread = readMctrace(buf);
+  ASSERT_TRUE(store == reread);
+  EXPECT_EQ(reread.spanCount(), store.spanCount());
+  EXPECT_EQ(reread.edgeCount(), store.edgeCount());
+  EXPECT_DOUBLE_EQ(reread.maxTime(), store.maxTime());
+}
+
+}  // namespace
+}  // namespace mcsim::obs

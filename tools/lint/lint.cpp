@@ -26,6 +26,7 @@ constexpr const char* kSimHeapAlloc = "sim-heap-alloc";
 constexpr const char* kEventTaxonomy = "event-taxonomy";
 constexpr const char* kDeprecatedCompat = "deprecated-compat";
 constexpr const char* kIncludeHygiene = "include-hygiene";
+constexpr const char* kTraceMacro = "trace-macro";
 constexpr const char* kUnusedSuppression = "unused-suppression";
 
 const std::vector<RuleInfo> kCatalog = {
@@ -57,6 +58,9 @@ const std::vector<RuleInfo> kCatalog = {
     {kIncludeHygiene,
      "include hygiene: no umbrella include inside src/mcsim/, no relative "
      "includes, util/ and obs/event.hpp keep their layering"},
+    {kTraceMacro,
+     "span/phase emission in src/mcsim/{sim,engine,runner}/ must go through "
+     "the MCSIM_TRACE_* macros so tracing compiles out when disabled"},
     {kUnusedSuppression,
      "an `mcsim-lint: allow(rule)` comment that suppressed nothing (or names "
      "an unknown rule)"},
@@ -582,6 +586,30 @@ void scanLines(const ParsedFile& f, const std::string& rawText, Diags& out) {
   }
 }
 
+/// trace-macro: on the simulation hot path (sim/, engine/, runner/) raw
+/// span/phase emission calls must be wrapped in the MCSIM_TRACE_* macros so
+/// a tracing-disabled build compiles them out entirely.  obs/ itself (the
+/// implementation) and cold callers (tools/, bench/, analysis/) are exempt.
+void scanTraceMacro(const ParsedFile& f, Diags& out) {
+  if (!(pathUnder(f, "src/mcsim/sim/") || pathUnder(f, "src/mcsim/engine/") ||
+        pathUnder(f, "src/mcsim/runner/")))
+    return;
+  static constexpr const char* kCalls[] = {"ScopedPhase", "beginSpan",
+                                           "endSpan", "addCounterSample"};
+  for (std::size_t li = 0; li < f.lines.size(); ++li) {
+    const std::string& code = f.lines[li].code;
+    if (code.find("MCSIM_TRACE_") != std::string::npos) continue;
+    for (const char* call : kCalls) {
+      if (wholeWordIn(code, call)) {
+        diag(out, f, static_cast<int>(li) + 1, kTraceMacro,
+             std::string(call) + " on the hot path outside an MCSIM_TRACE_* "
+             "macro: direct span/phase emission cannot compile out");
+        break;
+      }
+    }
+  }
+}
+
 /// deprecated-compat needs the *raw* line (the warning name sits inside a
 /// string literal that the code view blanks).
 void scanRawLines(const ParsedFile& f, const std::string& rawText,
@@ -864,6 +892,7 @@ std::vector<Diagnostic> lintFiles(const std::vector<FileContent>& files,
     names.insert(localNames[i].begin(), localNames[i].end());
     scanUnorderedIteration(parsed[i], names, diags);
     scanLines(parsed[i], files[i].text, diags);
+    scanTraceMacro(parsed[i], diags);
     scanRawLines(parsed[i], files[i].text, diags);
   }
 

@@ -6,6 +6,7 @@
 //   mcsim modes    --workflow cybershake
 //   mcsim ccr      --workflow montage:1 --procs 8 --targets 0.053,0.5,2
 //   mcsim reliability --workflow montage:1 --mtbf 900,3600,14400
+//   mcsim explain  --workflow montage:4 --mode cleanup [--json] [--top 20]
 //   mcsim dax      --workflow montage:1 --out montage1.dax
 //
 // --workflow accepts montage:<degrees>, cybershake, epigenomics, inspiral,
@@ -29,6 +30,7 @@ commands:
   modes     Question-2 data-mode comparison (Fig 7-9 style)
   ccr       Fig-11 style CCR sweep
   reliability  cost vs. processor MTBF across the three data modes
+  explain   critical-path cost attribution for one execution
   dax       write the workflow as a DAX XML file
   version   print version, git SHA and build type (also --version)
 
@@ -41,10 +43,19 @@ common options:
   --targets <list>    CCR targets for `ccr`
   --out <path>        output file for `dax` / --trace
   --trace <path>      (simulate) write a Chrome trace JSON
+  --trace-out <path>  (simulate/explain) write the causal span trace as
+                      Perfetto/Chrome trace-event JSON
+  --mctrace-out <p>   (simulate/explain) write the span trace in the compact
+                      binary .mctrace format
   --telemetry-dir <d> (simulate) write events.jsonl, metrics.prom and
                       report.json for the run into directory <d>
   --sample-period <s> storage sampling period for --telemetry-dir
                       in simulated seconds                  (default 60)
+  --profile           (simulate) emit simulator self-profiling events
+                      (phase timers) into the telemetry stream
+  --billing <b>       (explain) provisioned | usage   (default provisioned)
+  --top <n>           (explain) rows in the top-task table (default 10)
+  --json              (explain) machine-readable mcsim.explain.v1 JSON
   --jobs <n>          worker threads for sweep / modes / ccr /
                       reliability; 0 = serial (exact legacy code
                       path, useful for debugging)
@@ -169,6 +180,7 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   cfg.processors = args.intOr("procs", 8);
   cfg.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
   cfg.trace = true;
+  cfg.profile = args.hasFlag("profile");
   applyFaultFlags(cfg, args);
 
   // --telemetry-dir: observe the whole run and write the three artifacts.
@@ -176,10 +188,22 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
   std::optional<obs::TelemetrySession> telemetry;
   if (const auto dir = args.value("telemetry-dir")) {
     telemetry.emplace(obs::TelemetryOptions{*dir});
-    cfg.observer = telemetry->sink();
     cfg.samplePeriodSeconds = args.numberOr("sample-period", 60.0);
     setLogSink(telemetry->sink());
   }
+
+  // --trace-out / --mctrace-out: fold the run into a causal span trace.
+  const auto traceOut = args.value("trace-out");
+  const auto mctraceOut = args.value("mctrace-out");
+  obs::TraceStore store;
+  std::optional<obs::SpanSink> spanSink;
+  obs::FanOutSink observers;
+  if (traceOut || mctraceOut) {
+    spanSink.emplace(store, analysis::traceTopology(wf));
+    observers.add(&*spanSink);
+  }
+  if (telemetry) observers.add(telemetry->sink());
+  if (observers.childCount() > 0) cfg.observer = &observers;
 
   const auto result = engine::simulateWorkflow(wf, cfg);
   std::cout << engine::summarize(wf, result) << "\n\n";
@@ -219,6 +243,71 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
     engine::writeChromeTrace(out, wf, result);
     std::cout << "chrome trace written to " << *tracePath
               << " (open in chrome://tracing)\n";
+  }
+  if (traceOut) {
+    std::ofstream out(*traceOut);
+    if (!out) throw std::runtime_error("cannot write " + *traceOut);
+    const obs::TraceNames names = analysis::traceNames(wf);
+    obs::writePerfettoTrace(out, store, &names);
+    std::cout << "span trace written to " << *traceOut
+              << " (open in ui.perfetto.dev)\n";
+  }
+  if (mctraceOut) {
+    std::ofstream out(*mctraceOut, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + *mctraceOut);
+    obs::writeMctrace(out, store);
+    std::cout << "binary span trace written to " << *mctraceOut << " ("
+              << store.spanCount() << " spans)\n";
+  }
+  return 0;
+}
+
+cloud::CpuBillingMode parseBilling(const std::string& name) {
+  if (name == "provisioned") return cloud::CpuBillingMode::Provisioned;
+  if (name == "usage") return cloud::CpuBillingMode::Usage;
+  throw std::invalid_argument("unknown billing '" + name +
+                              "' (want provisioned|usage)");
+}
+
+/// Run once with a SpanSink + ReportBuilder observing, then join the span
+/// trace's critical path with the report's cost attribution.
+int cmdExplain(const dag::Workflow& wf, const ArgParser& args) {
+  engine::EngineConfig cfg;
+  cfg.mode = parseMode(args.valueOr("mode", "regular"));
+  cfg.processors = args.intOr("procs", 8);
+  cfg.linkBandwidthBytesPerSec = args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  applyFaultFlags(cfg, args);
+
+  obs::TraceStore store;
+  obs::SpanSink spanSink(store, analysis::traceTopology(wf));
+  obs::ReportBuilder lineItems;
+  obs::FanOutSink fan({&spanSink, &lineItems});
+  cfg.observer = &fan;
+
+  const auto result = engine::simulateWorkflow(wf, cfg);
+  const auto billing = parseBilling(args.valueOr("billing", "provisioned"));
+  const obs::RunReport report =
+      lineItems.build(wf, result, cloud::Pricing::amazon2008(), billing);
+  const analysis::Explanation e = analysis::explainRun(wf, store, report);
+
+  if (const auto path = args.value("trace-out")) {
+    std::ofstream out(*path);
+    if (!out) throw std::runtime_error("cannot write " + *path);
+    const obs::TraceNames names = analysis::traceNames(wf);
+    obs::writePerfettoTrace(out, store, &names);
+  }
+  if (const auto path = args.value("mctrace-out")) {
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + *path);
+    obs::writeMctrace(out, store);
+  }
+
+  if (args.hasFlag("json")) {
+    analysis::writeExplanationJson(std::cout, e);
+  } else {
+    const int top = args.intOr("top", 10);
+    if (top < 0) throw std::invalid_argument("--top must be >= 0");
+    analysis::printExplanation(std::cout, e, static_cast<std::size_t>(top));
   }
   return 0;
 }
@@ -312,11 +401,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     ArgParser args({"workflow", "procs", "mode", "bandwidth", "targets",
-                    "out", "trace", "telemetry-dir", "sample-period",
-                    "log-level", "mtbf", "retries", "retry-policy",
-                    "retry-delay", "jitter", "deadline", "fault-seed",
-                    "jobs"},
-                   {"csv"});
+                    "out", "trace", "trace-out", "mctrace-out",
+                    "telemetry-dir", "sample-period", "log-level", "mtbf",
+                    "retries", "retry-policy", "retry-delay", "jitter",
+                    "deadline", "fault-seed", "jobs", "billing", "top"},
+                   {"csv", "json", "profile"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
       setLogLevel(parseLogLevel(*level));
@@ -328,6 +417,7 @@ int main(int argc, char** argv) {
     if (command == "modes") return cmdModes(wf, args);
     if (command == "ccr") return cmdCcr(wf, args);
     if (command == "reliability") return cmdReliability(wf, args);
+    if (command == "explain") return cmdExplain(wf, args);
     if (command == "dax") return cmdDax(wf, args);
     std::cerr << "unknown command '" << command << "'\n" << kUsage;
     return 2;
