@@ -1,5 +1,9 @@
 #include "common.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "mcsim/util/csv.hpp"
 #include "mcsim/util/table.hpp"
 
@@ -15,6 +19,20 @@ std::string num(double v) {
 }
 
 }  // namespace
+
+std::size_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 void printProvisioningFigure(const std::string& figureId, double degrees,
                              const std::vector<analysis::PaperAnchor>& anchors,

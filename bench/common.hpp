@@ -30,6 +30,11 @@ inline int parseJobs(int argc, char** argv) {
   return runner::defaultJobs();
 }
 
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// ru_maxrss; 0 where unsupported).  Benches report it alongside wall
+/// times so memory regressions show up in the committed BENCH_*.json.
+std::size_t peakRssBytes();
+
 /// Print the Question-1 provisioning figure (Figs 4/5/6) for one preset.
 void printProvisioningFigure(const std::string& figureId, double degrees,
                              const std::vector<analysis::PaperAnchor>& anchors,

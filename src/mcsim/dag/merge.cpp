@@ -5,6 +5,41 @@
 
 namespace mcsim::dag {
 
+namespace {
+
+/// Append one part into `merged`, every name prefixed with `prefix`.
+/// `taskMap`/`fileMap` are caller-owned scratch so the per-part id tables
+/// are allocated once per batch, not once per part.
+void appendPart(Workflow& merged, const Workflow& part,
+                const std::string& prefix, std::vector<TaskId>& taskMap,
+                std::vector<FileId>& fileMap, std::string& nameScratch) {
+  auto prefixed = [&](const std::string& name) {
+    nameScratch.assign(prefix);
+    nameScratch.append(name);
+    return nameScratch;
+  };
+
+  fileMap.resize(part.fileCount());
+  for (const File& f : part.files())
+    fileMap[f.id] = merged.addFile(prefixed(f.name), f.size);
+  taskMap.resize(part.taskCount());
+  for (const Task& t : part.tasks())
+    taskMap[t.id] = merged.addTask(prefixed(t.name), t.type, t.runtimeSeconds);
+  for (const Task& t : part.tasks()) {
+    for (FileId in : t.inputs) merged.addInput(taskMap[t.id], fileMap[in]);
+    for (FileId out : t.outputs) merged.addOutput(taskMap[t.id], fileMap[out]);
+  }
+  for (const auto& [parent, child] : part.controlDependencies())
+    merged.addControlDependency(taskMap[parent], taskMap[child]);
+  for (const File& f : part.files())
+    if (f.explicitOutput) merged.markExplicitOutput(fileMap[f.id]);
+  for (const Task& t : part.tasks())
+    if (t.earliestStartSeconds > 0.0)
+      merged.setEarliestStart(taskMap[t.id], t.earliestStartSeconds);
+}
+
+}  // namespace
+
 Workflow mergeWorkflows(const std::vector<Workflow>& parts,
                         const std::string& name) {
   if (parts.empty())
@@ -17,36 +52,29 @@ Workflow mergeWorkflows(const std::vector<Workflow>& parts,
     bool unique = true;
     for (const Workflow& part : parts)
       unique = seen.insert(part.name()).second && unique;
+    prefixes.reserve(parts.size());
     for (std::size_t i = 0; i < parts.size(); ++i)
       prefixes.push_back((unique ? parts[i].name()
                                  : "req" + std::to_string(i)) +
                          "/");
   }
 
-  Workflow merged(name);
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    const Workflow& part = parts[i];
-    const std::string& prefix = prefixes[i];
-
-    std::vector<FileId> fileMap(part.fileCount());
-    for (const File& f : part.files())
-      fileMap[f.id] = merged.addFile(prefix + f.name, f.size);
-    std::vector<TaskId> taskMap(part.taskCount());
-    for (const Task& t : part.tasks())
-      taskMap[t.id] = merged.addTask(prefix + t.name, t.type,
-                                     t.runtimeSeconds);
-    for (const Task& t : part.tasks()) {
-      for (FileId in : t.inputs) merged.addInput(taskMap[t.id], fileMap[in]);
-      for (FileId out : t.outputs) merged.addOutput(taskMap[t.id], fileMap[out]);
-    }
-    for (const auto& [parent, child] : part.controlDependencies())
-      merged.addControlDependency(taskMap[parent], taskMap[child]);
-    for (const File& f : part.files())
-      if (f.explicitOutput) merged.markExplicitOutput(fileMap[f.id]);
-    for (const Task& t : part.tasks())
-      if (t.earliestStartSeconds > 0.0)
-        merged.setEarliestStart(taskMap[t.id], t.earliestStartSeconds);
+  // Reserve the whole batch up front: at 10³+ parts the doubling cascade on
+  // the merged task/file tables used to dominate build time.
+  std::size_t totalTasks = 0;
+  std::size_t totalFiles = 0;
+  for (const Workflow& part : parts) {
+    totalTasks += part.taskCount();
+    totalFiles += part.fileCount();
   }
+
+  Workflow merged(name);
+  merged.reserve(totalTasks, totalFiles);
+  std::vector<TaskId> taskMap;
+  std::vector<FileId> fileMap;
+  std::string nameScratch;
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    appendPart(merged, parts[i], prefixes[i], taskMap, fileMap, nameScratch);
   merged.finalize();
   return merged;
 }
@@ -87,9 +115,22 @@ Workflow replicateWorkflow(const Workflow& wf, int count,
                            const std::string& name) {
   if (count < 1)
     throw std::invalid_argument("replicateWorkflow: count must be >= 1");
-  std::vector<Workflow> parts(static_cast<std::size_t>(count), wf);
-  // Force positional prefixes (identical names are not unique).
-  return mergeWorkflows(parts, name);
+  // Append straight from the single source `count` times — the previous
+  // implementation materialized `count` deep copies of `wf` first, which is
+  // quadratic-feeling memory pressure at survey scale.  Prefixes stay
+  // positional ("req<i>/"), matching the non-unique-name path of
+  // mergeWorkflows byte for byte.
+  Workflow merged(name);
+  merged.reserve(static_cast<std::size_t>(count) * wf.taskCount(),
+                 static_cast<std::size_t>(count) * wf.fileCount());
+  std::vector<TaskId> taskMap;
+  std::vector<FileId> fileMap;
+  std::string nameScratch;
+  for (int i = 0; i < count; ++i)
+    appendPart(merged, wf, "req" + std::to_string(i) + "/", taskMap, fileMap,
+               nameScratch);
+  merged.finalize();
+  return merged;
 }
 
 }  // namespace mcsim::dag

@@ -27,6 +27,7 @@
 #include "mcsim/util/args.hpp"
 #include "mcsim/util/contract.hpp"
 #include "mcsim/util/csv.hpp"
+#include "mcsim/util/expected.hpp"
 #include "mcsim/util/log.hpp"
 #include "mcsim/util/rng.hpp"
 #include "mcsim/util/table.hpp"
@@ -70,6 +71,7 @@
 #include "mcsim/engine/trace.hpp"
 #include "mcsim/engine/trace_export.hpp"
 
+#include "mcsim/runner/campaign.hpp"
 #include "mcsim/runner/memo.hpp"
 #include "mcsim/runner/runner.hpp"
 
@@ -84,3 +86,4 @@
 #include "mcsim/analysis/service.hpp"
 
 #include "mcsim/workflows/gallery.hpp"
+#include "mcsim/workflows/survey.hpp"

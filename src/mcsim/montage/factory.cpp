@@ -16,10 +16,8 @@ std::string indexed(const std::string& stem, int i) {
   return stem + "_" + buf;
 }
 
-/// Deterministic overlapping-pair enumeration on the image grid: all
-/// right-neighbour pairs, then down, then the two diagonals — the order a
-/// plane sweep over the sky would discover overlaps.  Throws if the grid
-/// cannot supply `count` distinct adjacent pairs.
+}  // namespace
+
 std::vector<std::pair<int, int>> overlapPairs(int cols, int rows, int count) {
   std::vector<std::pair<int, int>> pairs;
   auto at = [cols](int c, int r) { return r * cols + c; };
@@ -43,8 +41,6 @@ std::vector<std::pair<int, int>> overlapPairs(int cols, int rows, int count) {
   pairs.resize(static_cast<std::size_t>(count));
   return pairs;
 }
-
-}  // namespace
 
 MontageParams montage1DegreeParams() {
   MontageParams p;

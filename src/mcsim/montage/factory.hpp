@@ -18,6 +18,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/montage/catalog.hpp"
@@ -81,5 +83,13 @@ dag::Workflow buildMontageWorkflow(const MontageParams& params);
 
 /// Convenience: preset lookup by degrees (1, 2 or 4), else generic.
 dag::Workflow buildMontageWorkflow(double degrees);
+
+/// Deterministic overlapping-pair enumeration on the image grid: all
+/// right-neighbour pairs, then down, then the two diagonals — the order a
+/// plane sweep over the sky would discover overlaps.  Throws if the grid
+/// cannot supply `count` distinct adjacent pairs.  Shared with the survey
+/// campaign generator (workflows/survey), which emits the same per-tile
+/// structure through the streaming builder.
+std::vector<std::pair<int, int>> overlapPairs(int cols, int rows, int count);
 
 }  // namespace mcsim::montage

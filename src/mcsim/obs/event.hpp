@@ -246,6 +246,27 @@ struct RunnerBatchProfile {
   double wallSeconds;
 };
 
+// -- survey campaigns ---------------------------------------------------------
+/// One shard of a sharded survey campaign finished simulating: shard index
+/// (0-based) out of `shards`, its task count and simulated makespan.
+/// Emitted by runner::runCampaign after the shard's scenario completes.
+struct ShardCompleted {
+  std::size_t shard;
+  std::size_t shards;
+  std::size_t tasks;
+  double makespanSeconds;
+};
+
+/// Whole-campaign roll-up: shard count, total tasks, campaign makespan
+/// (shards run concurrently: the max over shards) and total CPU seconds.
+/// Emitted once, after every ShardCompleted.
+struct CampaignCompleted {
+  std::size_t shards;
+  std::size_t tasks;
+  double makespanSeconds;
+  double totalCpuSeconds;
+};
+
 // -- logging ------------------------------------------------------------------
 /// A util/log message routed through the event bus (satellite of the single
 /// logging path).  `level` is the integer value of mcsim::LogLevel.
@@ -266,7 +287,8 @@ using Payload = std::variant<
     StageOutFinished, FileCleanupDeleted, BillingLineItem, LogEmitted,
     ProcessorCrashed, TaskRetryScheduled, TaskFailed, TaskAbandoned,
     StorageOutageStarted, StorageOutageEnded, DeadlineExceeded,
-    ScenarioCacheStats, PhaseProfile, WorkerProfile, RunnerBatchProfile>;
+    ScenarioCacheStats, PhaseProfile, WorkerProfile, RunnerBatchProfile,
+    ShardCompleted, CampaignCompleted>;
 
 enum class EventKind : std::uint8_t {
   SimEventScheduled,
@@ -310,9 +332,11 @@ enum class EventKind : std::uint8_t {
   PhaseProfile,
   WorkerProfile,
   RunnerBatchProfile,
+  ShardCompleted,
+  CampaignCompleted,
 };
 
-inline constexpr std::size_t kEventKindCount = 41;
+inline constexpr std::size_t kEventKindCount = 43;
 static_assert(std::variant_size_v<Payload> == kEventKindCount,
               "EventKind and Payload must list the same alternatives");
 

@@ -177,6 +177,18 @@ struct Writer {
        << ",\"cached\":" << p.cached << ",\"wall_seconds\":";
     num(os, p.wallSeconds);
   }
+  void operator()(const ShardCompleted& p) {
+    os << ",\"shard\":" << p.shard << ",\"shards\":" << p.shards
+       << ",\"tasks\":" << p.tasks << ",\"makespan_seconds\":";
+    num(os, p.makespanSeconds);
+  }
+  void operator()(const CampaignCompleted& p) {
+    os << ",\"shards\":" << p.shards << ",\"tasks\":" << p.tasks
+       << ",\"makespan_seconds\":";
+    num(os, p.makespanSeconds);
+    os << ",\"total_cpu_seconds\":";
+    num(os, p.totalCpuSeconds);
+  }
 
   void stage(std::uint32_t file, std::uint32_t task, double bytes) {
     os << ",\"file\":" << file;

@@ -191,7 +191,16 @@ MetricsSink::MetricsSink(MetricsRegistry& registry)
           "End-to-end wall-clock across runner batches")),
       runnerCachedScenarios_(registry.counter(
           "mcsim_runner_cached_scenarios_total",
-          "Scenarios satisfied without simulation across batches")) {
+          "Scenarios satisfied without simulation across batches")),
+      shardsCompleted_(registry.counter(
+          "mcsim_campaign_shards_completed_total",
+          "Survey campaign shards simulated to completion")),
+      campaignsCompleted_(registry.counter(
+          "mcsim_campaigns_completed_total",
+          "Survey campaigns simulated to completion")),
+      campaignTasks_(registry.counter(
+          "mcsim_campaign_tasks_total",
+          "Tasks across completed survey campaigns")) {
   for (std::size_t i = 0; i < kSimPhaseCount; ++i)
     selfPhaseSeconds_[i] = &registry.counter(
         std::string("mcsim_self_") + simPhaseName(static_cast<SimPhase>(i)) +
@@ -320,6 +329,16 @@ void MetricsSink::onEvent(const Event& event) {
       runnerBatches_.increment();
       runnerBatchSeconds_.increment(p.wallSeconds);
       runnerCachedScenarios_.increment(static_cast<double>(p.cached));
+      break;
+    }
+    case EventKind::ShardCompleted: {
+      shardsCompleted_.increment();
+      break;
+    }
+    case EventKind::CampaignCompleted: {
+      const auto& p = std::get<CampaignCompleted>(event.payload);
+      campaignsCompleted_.increment();
+      campaignTasks_.increment(static_cast<double>(p.tasks));
       break;
     }
     default: break;  // progress, suspend/resume, run markers, line items

@@ -154,6 +154,10 @@ class MetricsSink final : public Sink {
   Counter& runnerBatches_;
   Counter& runnerBatchSeconds_;
   Counter& runnerCachedScenarios_;
+  // Survey campaign instruments (PR-7 survey-scale workloads).
+  Counter& shardsCompleted_;
+  Counter& campaignsCompleted_;
+  Counter& campaignTasks_;
   /// Simulator wall-clock per internal phase, indexed by obs::SimPhase.
   std::array<Counter*, kSimPhaseCount> selfPhaseSeconds_{};
 

@@ -58,6 +58,8 @@ const char* eventName(EventKind kind) {
     case EventKind::PhaseProfile: return "phase_profile";
     case EventKind::WorkerProfile: return "worker_profile";
     case EventKind::RunnerBatchProfile: return "runner_batch_profile";
+    case EventKind::ShardCompleted: return "shard_completed";
+    case EventKind::CampaignCompleted: return "campaign_completed";
   }
   return "unknown";
 }

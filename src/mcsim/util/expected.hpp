@@ -1,0 +1,67 @@
+// A minimal expected/either type: a value or an error, never both.
+//
+// Boundary APIs that validate untrusted input (fuzzed configs, parsed
+// files) return Expected so callers can branch on failure without the cost
+// or the control-flow surprise of exceptions; internal invariant violations
+// keep throwing.  Modeled on std::expected (C++23), which this toolchain
+// does not ship yet — only the members the codebase uses are provided.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mcsim {
+
+/// Tag wrapper marking a constructor argument as the error alternative.
+template <class E>
+struct Unexpected {
+  E error;
+};
+
+template <class E>
+Unexpected<std::decay_t<E>> makeUnexpected(E&& error) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(error)};
+}
+
+template <class T, class E = std::string>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> error)
+      : state_(std::in_place_index<1>, std::move(error.error)) {}
+
+  bool hasValue() const { return state_.index() == 0; }
+  explicit operator bool() const { return hasValue(); }
+
+  /// The value; throws std::logic_error if this holds an error.
+  T& value() & { return std::get<0>(require(true)); }
+  const T& value() const& {
+    return std::get<0>(const_cast<Expected*>(this)->require(true));
+  }
+  T&& value() && { return std::get<0>(std::move(require(true))); }
+
+  /// The error; throws std::logic_error if this holds a value.
+  const E& error() const {
+    return std::get<1>(const_cast<Expected*>(this)->require(false));
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, E>& require(bool wantValue) {
+    if (hasValue() != wantValue)
+      throw std::logic_error(wantValue
+                                 ? "Expected: value() on an error result"
+                                 : "Expected: error() on a value result");
+    return state_;
+  }
+
+  std::variant<T, E> state_;
+};
+
+}  // namespace mcsim

@@ -98,6 +98,8 @@ TEST(EventJson, EveryPayloadAlternativeSerializesToValidJson) {
       {0.0, PhaseProfile{2, 0.125}},
       {0.0, WorkerProfile{0, 5, 0.75, 1.0}},
       {0.0, RunnerBatchProfile{4, 20, 3, 1.5}},
+      {0.0, ShardCompleted{0, 4, 812, 3600.0}},
+      {0.0, CampaignCompleted{4, 3248, 3600.0, 80640.0}},
   };
   ASSERT_EQ(one_of_each.size(), kEventKindCount);
   for (const Event& e : one_of_each) {

@@ -1,0 +1,62 @@
+// mcsim::Expected — the throw-free error channel used by try-style
+// builders (trySurveyCampaign): value/error duality, wrong-side access
+// contracts, move behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "mcsim/util/expected.hpp"
+
+namespace mcsim {
+namespace {
+
+Expected<int> parsePositive(int v) {
+  if (v <= 0) return makeUnexpected("not positive: " + std::to_string(v));
+  return v;
+}
+
+TEST(ExpectedTest, ValueSideBehavesLikeTheValue) {
+  const Expected<int> ok = parsePositive(7);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(ok.hasValue());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(*ok, 7);
+}
+
+TEST(ExpectedTest, ErrorSideCarriesTheMessage) {
+  const Expected<int> bad = parsePositive(-3);
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error(), "not positive: -3");
+}
+
+TEST(ExpectedTest, WrongSideAccessThrowsLogicError) {
+  const Expected<int> ok = parsePositive(1);
+  const Expected<int> bad = parsePositive(0);
+  EXPECT_THROW((void)ok.error(), std::logic_error);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+  EXPECT_THROW((void)*bad, std::logic_error);
+}
+
+TEST(ExpectedTest, ArrowOperatorReachesMembers) {
+  const Expected<std::string> ok{std::string("abc")};
+  EXPECT_EQ(ok->size(), 3u);
+}
+
+TEST(ExpectedTest, MoveOnlyValuesMoveOut) {
+  Expected<std::unique_ptr<int>> ok{std::make_unique<int>(42)};
+  ASSERT_TRUE(ok);
+  const std::unique_ptr<int> moved = std::move(ok).value();
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(*moved, 42);
+}
+
+TEST(ExpectedTest, CustomErrorTypes) {
+  const Expected<int, int> bad = makeUnexpected(404);
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error(), 404);
+}
+
+}  // namespace
+}  // namespace mcsim

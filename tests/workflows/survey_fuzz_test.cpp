@@ -1,0 +1,150 @@
+// SurveyConfig fuzzing, the survey-side extension of the DAX fuzz
+// harness: randomized and adversarial configurations must either produce
+// a campaign matching the closed-form counts or come back as a graceful
+// Expected error — never a crash, hang, overflow or half-built graph.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "mcsim/util/expected.hpp"
+#include "mcsim/util/rng.hpp"
+#include "mcsim/workflows/survey.hpp"
+
+namespace mcsim::workflows {
+namespace {
+
+/// Random config mixing in-range and out-of-range fields: roughly half of
+/// the draws are deliberately hostile.
+SurveyConfig randomConfig(std::uint64_t seed) {
+  Rng rng(seed);
+  SurveyConfig cfg;
+  cfg.name = "fuzz";
+  switch (rng.uniformInt(0, 5)) {
+    case 0: cfg.tiles = 0; break;  // invalid
+    case 1: cfg.tiles = 1; break;
+    case 2: cfg.tiles = static_cast<std::uint64_t>(rng.uniformInt(2, 24)); break;
+    case 3: cfg.tiles = static_cast<std::uint64_t>(INT_MAX) - 1; break;
+    case 4: cfg.tiles = static_cast<std::uint64_t>(INT_MAX) + 1; break;
+    default: cfg.tiles = ~0ull; break;  // id-space overflow
+  }
+  cfg.tileCols = static_cast<std::uint32_t>(rng.uniformInt(0, 5));
+  switch (rng.uniformInt(0, 3)) {
+    case 0: cfg.tileDegrees = 0.0; break;  // invalid
+    case 1: cfg.tileDegrees = -1.0; break;  // invalid
+    case 2: cfg.tileDegrees = 1.0; break;
+    default: cfg.tileDegrees = 17.0; break;  // invalid (> 16)
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: cfg.overlapFraction = 0.0; break;
+    case 1: cfg.overlapFraction = 0.5; break;  // degenerate but legal
+    case 2: cfg.overlapFraction = -0.1; break;  // invalid
+    default: cfg.overlapFraction = 0.9; break;  // invalid (> 0.5)
+  }
+  switch (rng.uniformInt(0, 3)) {
+    case 0: cfg.runtimeJitterFraction = 0.0; break;
+    case 1: cfg.runtimeJitterFraction = 0.45; break;
+    case 2: cfg.runtimeJitterFraction = 0.89; break;  // legal, infeasible CCR
+    default: cfg.runtimeJitterFraction = 1.5; break;  // invalid
+  }
+  switch (rng.uniformInt(0, 2)) {
+    case 0: cfg.releaseIntervalSeconds = 0.0; break;
+    case 1: cfg.releaseIntervalSeconds = 3600.0; break;
+    default: cfg.releaseIntervalSeconds = -1.0; break;  // invalid
+  }
+  cfg.seed = seed;
+  return cfg;
+}
+
+class SurveyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurveyFuzz,
+                         ::testing::Range<std::uint64_t>(500, 564));
+
+TEST_P(SurveyFuzz, EveryConfigEitherBuildsOrFailsGracefully) {
+  SurveyConfig cfg = randomConfig(GetParam());
+  // Keep fuzz workloads bounded: hostile tile counts are rejected during
+  // validation, never built.
+  const Expected<dag::Workflow> result = trySurveyCampaign(cfg);
+  if (!result) {
+    EXPECT_FALSE(result.error().empty());
+    return;
+  }
+  const SurveyCounts counts = surveyCounts(cfg);
+  ASSERT_LE(counts.tasks, 30000u)
+      << "a buildable fuzz config should be small";
+  EXPECT_EQ(result->taskCount(), counts.tasks);
+  EXPECT_EQ(result->fileCount(), counts.files);
+}
+
+TEST_P(SurveyFuzz, ValidationAgreesWithTryOutcome) {
+  const SurveyConfig cfg = randomConfig(GetParam());
+  const std::string error = validateSurveyConfig(cfg);
+  const Expected<dag::Workflow> result = trySurveyCampaign(cfg);
+  EXPECT_EQ(error.empty(), result.hasValue())
+      << "validate said '" << error << "'";
+}
+
+TEST(SurveyFuzzEdge, ZeroTilesIsAGracefulError) {
+  SurveyConfig cfg;
+  cfg.tiles = 0;
+  const auto result = trySurveyCampaign(cfg);
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("tiles"), std::string::npos);
+}
+
+TEST(SurveyFuzzEdge, OneTileBuildsTheSingleTileGraph) {
+  SurveyConfig cfg;
+  cfg.tiles = 1;
+  const auto result = trySurveyCampaign(cfg);
+  ASSERT_TRUE(result.hasValue()) << result.error();
+  const SurveyCounts counts = surveyCounts(cfg);
+  EXPECT_EQ(result->taskCount(), counts.tasksPerTile);
+  EXPECT_EQ(result->fileCount(), counts.filesPerTile);
+}
+
+TEST(SurveyFuzzEdge, DegenerateOverlapBoundsAreExact) {
+  SurveyConfig cfg;
+  cfg.tiles = 4;
+  cfg.tileCols = 2;
+  cfg.overlapFraction = 0.5;  // half of each tile's raws shared
+  ASSERT_TRUE(trySurveyCampaign(cfg).hasValue());
+  cfg.overlapFraction = std::nextafter(0.5, 1.0);
+  EXPECT_FALSE(trySurveyCampaign(cfg).hasValue());
+  cfg.overlapFraction = -0.0;  // negative zero is still zero
+  EXPECT_TRUE(trySurveyCampaign(cfg).hasValue());
+}
+
+TEST(SurveyFuzzEdge, IdSpaceOverflowIsRejectedNotWrapped) {
+  SurveyConfig cfg;
+  cfg.tiles = static_cast<std::uint64_t>(INT_MAX) + 1;
+  const auto result = trySurveyCampaign(cfg);
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("id space"), std::string::npos);
+  cfg.tiles = ~0ull;
+  EXPECT_FALSE(trySurveyCampaign(cfg).hasValue());
+}
+
+TEST(SurveyFuzzEdge, InfeasibleCcrCalibrationNamesTheProblem) {
+  SurveyConfig cfg;
+  cfg.tiles = 2;
+  cfg.runtimeJitterFraction = 0.9;  // worst-case tile CPU can't cover fixed bytes
+  const auto result = trySurveyCampaign(cfg);
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().find("CCR"), std::string::npos);
+}
+
+TEST(SurveyFuzzEdge, TileDegreesBoundsAreEnforced) {
+  SurveyConfig cfg;
+  cfg.tiles = 1;
+  for (double degrees : {0.0, -1.0, 16.5, 1e300,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    cfg.tileDegrees = degrees;
+    EXPECT_FALSE(trySurveyCampaign(cfg).hasValue()) << degrees;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim::workflows

@@ -1,0 +1,78 @@
+// Scale-tier smoke test (`ctest -L scale`, Release only): a 10^5-task
+// survey campaign must stream-build and simulate inside a generous
+// wall-clock budget and RSS ceiling.  The budgets are an order of
+// magnitude above the measured numbers (BENCH_scale.json: ~0.2 s build,
+// ~0.1 s sim, ~100 MiB) so the test catches complexity regressions —
+// an accidental O(n^2) pass or a deep-copy cascade — not machine noise.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include <chrono>
+
+#include "mcsim/engine/engine.hpp"
+#include "mcsim/workflows/survey.hpp"
+
+namespace mcsim::workflows {
+namespace {
+
+std::size_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+TEST(SurveyScale, HundredThousandTaskCampaignWithinBudgets) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "scale tier runs on Release builds only (unoptimized "
+                  "builds and sanitizers blow the wall-clock budget)";
+#endif
+  using Clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kTargetTasks = 100000;
+  constexpr double kBuildBudgetSeconds = 20.0;
+  constexpr double kSimBudgetSeconds = 20.0;
+  constexpr std::size_t kRssCeilingBytes = 2ull << 30;  // 2 GiB
+
+  SurveyConfig cfg;
+  cfg.name = "scale-smoke";
+  const std::uint64_t tasksPerTile = surveyCounts(cfg).tasksPerTile;
+  cfg.tiles = (kTargetTasks + tasksPerTile - 1) / tasksPerTile;
+  cfg.seed = 1;
+
+  const auto t0 = Clock::now();
+  const dag::Workflow wf = buildSurveyCampaign(cfg);
+  const double buildSeconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  ASSERT_GE(wf.taskCount(), kTargetTasks);
+  EXPECT_LT(buildSeconds, kBuildBudgetSeconds)
+      << "streaming build of " << wf.taskCount() << " tasks too slow";
+
+  engine::EngineConfig config;
+  config.processors = 64;
+  const auto t1 = Clock::now();
+  const engine::ExecutionResult result = engine::simulateWorkflow(wf, config);
+  const double simSeconds =
+      std::chrono::duration<double>(Clock::now() - t1).count();
+  EXPECT_EQ(result.tasksExecuted, wf.taskCount());
+  EXPECT_TRUE(result.completed());
+  EXPECT_LT(simSeconds, kSimBudgetSeconds)
+      << "simulating " << wf.taskCount() << " tasks too slow";
+
+  const std::size_t rss = peakRssBytes();
+  if (rss > 0)
+    EXPECT_LT(rss, kRssCeilingBytes)
+        << "peak RSS " << (rss >> 20) << " MiB over the scale-tier ceiling";
+}
+
+}  // namespace
+}  // namespace mcsim::workflows

@@ -8,9 +8,12 @@
 //   mcsim reliability --workflow montage:1 --mtbf 900,3600,14400
 //   mcsim explain  --workflow montage:4 --mode cleanup [--json] [--top 20]
 //   mcsim dax      --workflow montage:1 --out montage1.dax
+//   mcsim survey   --tiles 1000 --shards 8 --jobs 8
 //
 // --workflow accepts montage:<degrees>, cybershake, epigenomics, inspiral,
 // sipht, or a path to a DAX file.
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +35,8 @@ commands:
   reliability  cost vs. processor MTBF across the three data modes
   explain   critical-path cost attribution for one execution
   dax       write the workflow as a DAX XML file
+  survey    build a sky-survey campaign (many Montage tiles via the
+            streaming builder) and simulate it as concurrent shards
   version   print version, git SHA and build type (also --version)
 
 common options:
@@ -62,6 +67,18 @@ common options:
                       (default: hardware concurrency)
   --log-level <l>     debug | info | warn | error | off     (default warn)
   --csv               machine-readable output where supported
+
+survey options (survey takes no --workflow; tiles are generated):
+  --tiles <n>            mosaic tiles in the campaign        (default 16)
+  --tile-degrees <d>     degrees per tile                    (default 1)
+  --overlap <f>          fraction of raw inputs shared with
+                         the left neighbour tile, 0..0.5     (default 0)
+  --runtime-jitter <f>   per-tile CPU jitter fraction, 0..0.9(default 0)
+  --release-interval <s> tile release cadence, sim seconds   (default 0)
+  --survey-seed <n>      campaign seed                       (default 1)
+  --shards <n>           split the campaign into n shard
+                         workflows simulated concurrently
+                         (default: --jobs; 1 when --overlap > 0)
 
 fault injection (simulate: single --mtbf; reliability: comma list):
   --mtbf <s|list>     processor MTBF in simulated seconds; 0 = off
@@ -375,6 +392,107 @@ int cmdReliability(const dag::Workflow& wf, const ArgParser& args) {
   return 0;
 }
 
+/// Build a survey campaign through the streaming builder, shard it, and
+/// simulate the shards concurrently on the runner.  The only command that
+/// does not load --workflow: the campaign is generated, not loaded.
+int cmdSurvey(const ArgParser& args) {
+  workflows::SurveyConfig sc;
+  const double tilesArg = args.numberOr("tiles", 16.0);
+  if (!(tilesArg >= 1.0))
+    throw std::invalid_argument("--tiles must be >= 1");
+  sc.tiles = static_cast<std::uint64_t>(tilesArg);
+  sc.tileDegrees = args.numberOr("tile-degrees", 1.0);
+  sc.overlapFraction = args.numberOr("overlap", 0.0);
+  sc.seed = static_cast<std::uint64_t>(args.numberOr("survey-seed", 1.0));
+  sc.runtimeJitterFraction = args.numberOr("runtime-jitter", 0.0);
+  sc.releaseIntervalSeconds = args.numberOr("release-interval", 0.0);
+
+  const workflows::SurveyCounts counts = workflows::surveyCounts(sc);
+  const int jobs = parseJobs(args);
+  int shards = args.intOr("shards", 0);
+  if (shards == 0)
+    shards = counts.sharedFiles > 0
+                 ? 1
+                 : static_cast<int>(std::min<std::uint64_t>(
+                       sc.tiles,
+                       static_cast<std::uint64_t>(std::max(1, jobs))));
+  if (shards < 1) throw std::invalid_argument("--shards must be >= 1");
+
+  Table structure({"property", "value"}, {Align::Left, Align::Left});
+  structure.addRow({"tiles", std::to_string(counts.tiles)});
+  structure.addRow({"grid", std::to_string(counts.cols) + " x " +
+                            std::to_string(counts.rows)});
+  structure.addRow({"tasks/tile", std::to_string(counts.tasksPerTile)});
+  structure.addRow({"tasks", std::to_string(counts.tasks)});
+  structure.addRow({"files", std::to_string(counts.files)});
+  structure.addRow({"shared input files", std::to_string(counts.sharedFiles)});
+  structure.addRow({"shards", std::to_string(shards)});
+  structure.print(std::cout);
+
+  // Wall-clock here is fine: this is a tool, not the deterministic core.
+  const auto buildStart = std::chrono::steady_clock::now();
+  std::vector<dag::Workflow> shardWfs;
+  if (shards == 1) {
+    shardWfs.push_back(workflows::buildSurveyCampaign(sc));
+  } else {
+    shardWfs =
+        workflows::buildSurveyShards(sc, static_cast<std::uint32_t>(shards));
+  }
+  const double buildSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    buildStart)
+          .count();
+  std::cout << "\nbuilt " << counts.tasks << " tasks in "
+            << formatDuration(buildSeconds) << " ("
+            << static_cast<std::uint64_t>(
+                   static_cast<double>(counts.tasks) /
+                   std::max(buildSeconds, 1e-9))
+            << " tasks/sec)\n\n";
+
+  runner::CampaignOptions options;
+  options.engine.mode = parseMode(args.valueOr("mode", "regular"));
+  options.engine.processors = args.intOr("procs", 8);
+  options.engine.linkBandwidthBytesPerSec =
+      args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  applyFaultFlags(options.engine, args);
+  options.jobs = jobs;
+
+  const auto simStart = std::chrono::steady_clock::now();
+  const runner::CampaignResult campaign = runner::runCampaign(shardWfs, options);
+  const double simSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    simStart)
+          .count();
+
+  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  Money provisioned;
+  Money usage;
+  for (const runner::ScenarioResult& shard : campaign.shardResults) {
+    provisioned += engine::computeCost(shard.result, pricing,
+                                       cloud::CpuBillingMode::Provisioned)
+                       .total();
+    usage += engine::computeCost(shard.result, pricing,
+                                 cloud::CpuBillingMode::Usage)
+                 .total();
+  }
+
+  Table results({"metric", "value"}, {Align::Left, Align::Left});
+  results.addRow({"tasks executed", std::to_string(campaign.tasks)});
+  results.addRow({"campaign makespan (concurrent shards)",
+                  formatDuration(campaign.makespanSeconds)});
+  results.addRow({"serialized makespan (one pool)",
+                  formatDuration(campaign.serializedMakespanSeconds)});
+  results.addRow({"cpu time", formatDuration(campaign.totalCpuSeconds)});
+  results.addRow({"bytes in", formatBytes(campaign.bytesIn)});
+  results.addRow({"bytes out", formatBytes(campaign.bytesOut)});
+  results.addRow({"cost (provisioned)", formatMoney(provisioned)});
+  results.addRow({"cost (usage)", formatMoney(usage)});
+  results.addRow({"completed", campaign.completed ? "yes" : "NO"});
+  results.addRow({"sim wall time", formatDuration(simSeconds)});
+  results.print(std::cout);
+  return 0;
+}
+
 int cmdDax(const dag::Workflow& wf, const ArgParser& args) {
   const auto out = args.value("out");
   if (!out) throw std::invalid_argument("dax: --out <path> required");
@@ -404,11 +522,15 @@ int main(int argc, char** argv) {
                     "out", "trace", "trace-out", "mctrace-out",
                     "telemetry-dir", "sample-period", "log-level", "mtbf",
                     "retries", "retry-policy", "retry-delay", "jitter",
-                    "deadline", "fault-seed", "jobs", "billing", "top"},
+                    "deadline", "fault-seed", "jobs", "billing", "top",
+                    "tiles", "tile-degrees", "overlap", "runtime-jitter",
+                    "release-interval", "survey-seed", "shards"},
                    {"csv", "json", "profile"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
       setLogLevel(parseLogLevel(*level));
+    // survey generates its campaign; it takes no --workflow.
+    if (command == "survey") return cmdSurvey(args);
     const dag::Workflow wf = loadWorkflow(args.valueOr("workflow", "montage:1"));
 
     if (command == "info") return cmdInfo(wf, args);
