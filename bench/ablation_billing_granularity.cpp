@@ -13,12 +13,12 @@ int main(int argc, char** argv) {
       wf, amazon,
       {.processorCounts = ladder,
        .granularity = cloud::BillingGranularity::PerSecond,
-       .jobs = jobs});
+       .queue = &bench::sharedQueue(jobs)});
   const auto perHour = analysis::provisioningSweep(
       wf, amazon,
       {.processorCounts = ladder,
        .granularity = cloud::BillingGranularity::PerHour,
-       .jobs = jobs});
+       .queue = &bench::sharedQueue(jobs)});
 
   std::cout << sectionBanner(
       "A1 — billing granularity: per-second (paper's idealization) vs "

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   Table t({"provider", "mode", "storage $", "transfer $", "DM $", "rank"});
   for (const cloud::Pricing& pricing :
        {cloud::Pricing::amazon2008(), cloud::Pricing::storageHeavyProvider()}) {
-    const auto rows = analysis::dataModeComparison(wf, pricing, {.jobs = jobs});
+    const auto rows = analysis::dataModeComparison(
+        wf, pricing, {.queue = &bench::sharedQueue(jobs)});
     // Rank by DM cost.
     std::vector<std::size_t> order = {0, 1, 2};
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -44,10 +45,10 @@ int main(int argc, char** argv) {
       "A3 — provisioning sweet spot under a compute-discount provider");
   const auto amazonPts = analysis::provisioningSweep(
       wf, cloud::Pricing::amazon2008(),
-      {.processorCounts = {1, 8, 64}, .jobs = jobs});
+      {.processorCounts = {1, 8, 64}, .queue = &bench::sharedQueue(jobs)});
   const auto discountPts = analysis::provisioningSweep(
       wf, cloud::Pricing::computeDiscountProvider(),
-      {.processorCounts = {1, 8, 64}, .jobs = jobs});
+      {.processorCounts = {1, 8, 64}, .queue = &bench::sharedQueue(jobs)});
   Table t2({"procs", "amazon-2008 total", "compute-discount total"});
   for (std::size_t i = 0; i < amazonPts.size(); ++i) {
     t2.addRow({std::to_string(amazonPts[i].processors),

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   Table t({"workflow", "mode", "storage GB-h", "DM $", "cpu $", "total $"});
   for (const dag::Workflow& wf : gallery) {
     for (const auto& row :
-         analysis::dataModeComparison(wf, amazon, {.jobs = jobs})) {
+         analysis::dataModeComparison(
+             wf, amazon, {.queue = &bench::sharedQueue(jobs)})) {
       char gbh[32];
       std::snprintf(gbh, sizeof gbh, "%.3f", row.storageGBHours);
       t.addRow({wf.name(), engine::dataModeName(row.mode), gbh,

@@ -20,6 +20,15 @@ std::string num(double v) {
 
 }  // namespace
 
+runner::JobQueue& sharedQueue(int workers) {
+  static runner::JobQueue queue([&] {
+    runner::JobQueueOptions options;
+    options.workers = workers;
+    return options;
+  }());
+  return queue;
+}
+
 std::size_t peakRssBytes() {
 #if defined(__unix__) || defined(__APPLE__)
   rusage usage{};
@@ -39,7 +48,7 @@ void printProvisioningFigure(const std::string& figureId, double degrees,
                              bool csv, int jobs) {
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
   const auto points = analysis::provisioningSweep(
-      wf, kAmazon, {.jobs = jobs});
+      wf, kAmazon, {.queue = &sharedQueue(jobs)});
 
   std::cout << sectionBanner(figureId + " — " + wf.name() +
                              ": execution cost and time vs provisioned "
@@ -64,7 +73,8 @@ void printProvisioningFigure(const std::string& figureId, double degrees,
 void printDataModeFigure(const std::string& figureId, double degrees,
                          bool csv, int jobs) {
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const auto rows = analysis::dataModeComparison(wf, kAmazon, {.jobs = jobs});
+  const auto rows =
+      analysis::dataModeComparison(wf, kAmazon, {.queue = &sharedQueue(jobs)});
 
   std::cout << sectionBanner(
       figureId + " — " + wf.name() +

@@ -12,6 +12,7 @@
 #include "mcsim/analysis/experiments.hpp"
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/montage/factory.hpp"
+#include "mcsim/runner/jobs.hpp"
 #include "mcsim/runner/runner.hpp"
 
 namespace mcsim::bench {
@@ -29,6 +30,12 @@ inline int parseJobs(int argc, char** argv) {
     if (std::string(argv[i]) == "--jobs") return std::stoi(argv[i + 1]);
   return runner::defaultJobs();
 }
+
+/// The bench process's shared JobQueue: one persistent worker pool reused
+/// by every sweep a bench drives, instead of a transient pool per call.
+/// Built on first use with `workers` threads; later calls ignore the
+/// argument (benches parse --jobs once, up front).
+runner::JobQueue& sharedQueue(int workers);
 
 /// Peak resident set size of this process so far, in bytes (getrusage
 /// ru_maxrss; 0 where unsupported).  Benches report it alongside wall

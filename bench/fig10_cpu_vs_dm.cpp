@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   for (double deg : {1.0, 2.0, 4.0}) {
     const dag::Workflow wf = montage::buildMontageWorkflow(deg);
     for (const auto& m :
-         analysis::dataModeComparison(wf, amazon, {.jobs = jobs})) {
+         analysis::dataModeComparison(
+           wf, amazon, {.queue = &bench::sharedQueue(jobs)})) {
       analysis::CpuVsDmRow row;
       row.workflow = wf.name();
       row.mode = m.mode;

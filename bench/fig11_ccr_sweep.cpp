@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   const auto points = analysis::ccrSweep(
       wf, cloud::Pricing::amazon2008(),
       {.ccrTargets = ccrs, .processors = 8,
-       .jobs = bench::parseJobs(argc, argv)});
+       .queue = &bench::sharedQueue(bench::parseJobs(argc, argv))});
   std::cout << sectionBanner(
       "Fig 11 — Montage 1-degree execution costs vs CCR (8 processors; "
       "file sizes scaled by CCRd/CCRr as in the paper)");

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const dag::Workflow wf = montage::buildMontageWorkflow(4.0);
   const auto points = analysis::provisioningSweep(
       wf, cloud::Pricing::amazon2008(),
-      {.processorCounts = {1, 16, 128}, .jobs = jobs});
+      {.processorCounts = {1, 16, 128},
+       .queue = &bench::sharedQueue(jobs)});
   std::cout << sectionBanner(
       "Q1 service — 500 four-degree mosaics at fixed provisioning");
   Table t({"procs", "per-mosaic", "turnaround", "500 mosaics",

@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   const cloud::Pricing amazon = cloud::Pricing::amazon2008();
   const dag::Workflow wf = montage::buildMontageWorkflow(2.0);
   const auto rows = analysis::dataModeComparison(
-      wf, amazon, {.jobs = bench::parseJobs(argc, argv)});
+      wf, amazon,
+      {.queue = &bench::sharedQueue(bench::parseJobs(argc, argv))});
   const auto& regular = rows[1];
 
   const Money onDemand = regular.totalCost();

@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
 
   // -- whole-sky campaign -----------------------------------------------------
   const dag::Workflow wf4 = montage::buildMontageWorkflow(4.0);
-  const auto rows4 = analysis::dataModeComparison(wf4, amazon, {.jobs = jobs});
+  const auto rows4 = analysis::dataModeComparison(
+      wf4, amazon, {.queue = &bench::sharedQueue(jobs)});
   const Money onDemand = rows4[1].totalCost();
   const Money preStaged = onDemand - rows4[1].transferInCost;
   // 3,900 plates falls out of the sky tiling at the paper's overlap.
@@ -41,7 +42,8 @@ int main(int argc, char** argv) {
   for (double deg : {1.0, 2.0, 4.0}) {
     const auto params = montage::paramsForDegrees(deg);
     const dag::Workflow wf = montage::buildMontageWorkflow(params);
-    const auto rows = analysis::dataModeComparison(wf, amazon, {.jobs = jobs});
+    const auto rows = analysis::dataModeComparison(
+        wf, amazon, {.queue = &bench::sharedQueue(jobs)});
     decisions.push_back(analysis::mosaicArchivalDecision(
         rows[1].cpuCost, params.mosaicBytes, amazon));
     labels.push_back(wf.name());

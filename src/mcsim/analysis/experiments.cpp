@@ -8,6 +8,7 @@
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/metrics.hpp"
 #include "mcsim/montage/ccr.hpp"
+#include "mcsim/runner/jobs.hpp"
 #include "mcsim/runner/runner.hpp"
 
 namespace mcsim::analysis {
@@ -60,9 +61,9 @@ std::vector<ProvisioningPoint> provisioningSweep(
     specs.push_back(makeSpec(wf, config.base, engine::DataMode::DynamicCleanup,
                              p, prefix + "/cleanup"));
   }
-  const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
-                                                config.cache));
+  const auto results = runner::runOnQueue(
+      config.queue, specs,
+      runnerOptions(config.jobs, config.observer, config.cache));
 
   std::vector<ProvisioningPoint> points;
   points.reserve(counts.size());
@@ -104,9 +105,9 @@ std::vector<DataModeMetrics> dataModeComparison(
                              std::string("modes/") +
                                  engine::dataModeName(mode)));
   }
-  const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
-                                                config.cache));
+  const auto results = runner::runOnQueue(
+      config.queue, specs,
+      runnerOptions(config.jobs, config.observer, config.cache));
 
   std::vector<DataModeMetrics> rows;
   rows.reserve(results.size());
@@ -157,9 +158,9 @@ std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,
                              engine::DataMode::DynamicCleanup,
                              config.processors, prefix + "/cleanup"));
   }
-  const auto results =
-      runner::runScenarios(specs, runnerOptions(config.jobs, config.observer,
-                                                config.cache));
+  const auto results = runner::runOnQueue(
+      config.queue, specs,
+      runnerOptions(config.jobs, config.observer, config.cache));
 
   std::vector<CcrPoint> points;
   points.reserve(config.ccrTargets.size());

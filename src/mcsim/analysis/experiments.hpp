@@ -23,6 +23,7 @@
 #include "mcsim/engine/engine.hpp"
 
 namespace mcsim::runner {
+class JobQueue;
 class ScenarioMemoCache;
 }
 
@@ -61,6 +62,9 @@ struct ProvisioningSweepConfig {
   /// paired cleanup runs at the same ladder rung, or whole re-sweeps from a
   /// planner — are served without re-simulation.  Borrowed; may be nullptr.
   runner::ScenarioMemoCache* cache = nullptr;
+  /// Run on this persistent JobQueue instead of a one-shot runner; its
+  /// workers and cache supersede `jobs`/`cache`.  Borrowed; may be nullptr.
+  runner::JobQueue* queue = nullptr;
 };
 
 /// Run the Question-1 sweep described by `config`.
@@ -112,6 +116,8 @@ struct DataModeComparisonConfig {
   obs::Sink* observer = nullptr;
   /// Optional scenario memo cache; see ProvisioningSweepConfig::cache.
   runner::ScenarioMemoCache* cache = nullptr;
+  /// Optional persistent JobQueue; see ProvisioningSweepConfig::queue.
+  runner::JobQueue* queue = nullptr;
 };
 
 /// Run all three modes (RemoteIO, Regular, DynamicCleanup, in that order).
@@ -155,6 +161,8 @@ struct CcrSweepConfig {
   obs::Sink* observer = nullptr;
   /// Optional scenario memo cache; see ProvisioningSweepConfig::cache.
   runner::ScenarioMemoCache* cache = nullptr;
+  /// Optional persistent JobQueue; see ProvisioningSweepConfig::queue.
+  runner::JobQueue* queue = nullptr;
 };
 
 std::vector<CcrPoint> ccrSweep(const dag::Workflow& wf,

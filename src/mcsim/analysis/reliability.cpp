@@ -8,6 +8,7 @@
 #include "mcsim/analysis/report.hpp"
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/metrics.hpp"
+#include "mcsim/runner/jobs.hpp"
 #include "mcsim/runner/runner.hpp"
 
 namespace mcsim::analysis {
@@ -84,7 +85,7 @@ std::vector<ReliabilityPoint> reliabilitySweep(
   options.jobs = config.jobs;
   options.observer = config.observer;
   options.cache = config.cache;
-  const auto results = runner::runScenarios(specs, options);
+  const auto results = runner::runOnQueue(config.queue, specs, options);
 
   const std::size_t perMode = config.mtbfSeconds.size() + 1;
   std::vector<ReliabilityPoint> points;

@@ -23,6 +23,7 @@
 #include "mcsim/util/table.hpp"
 
 namespace mcsim::runner {
+class JobQueue;
 class ScenarioMemoCache;
 }
 
@@ -48,6 +49,9 @@ struct ReliabilityConfig {
   /// baselines repeat across reliability sweeps sharing a cache, so only
   /// the faulty points re-simulate.  Borrowed; may be nullptr.
   runner::ScenarioMemoCache* cache = nullptr;
+  /// Run on this persistent JobQueue instead of a one-shot runner; its
+  /// workers and cache supersede `jobs`/`cache`.  Borrowed; may be nullptr.
+  runner::JobQueue* queue = nullptr;
 };
 
 /// One (mode, MTBF) point.  mtbfSeconds == 0 marks the fault-free baseline.

@@ -16,6 +16,7 @@
 //   runner/    the parallel scenario runner and the scenario memo cache
 //   analysis/  every figure/table driver, planner, economics, placement
 //   workflows/ the non-Montage workflow gallery
+//   serve/     the `mcsim serve` daemon: protocol, service, socket client
 //
 // Tools, examples and quick experiments should prefer this header; code
 // inside the library keeps including the specific headers it needs so the
@@ -28,6 +29,7 @@
 #include "mcsim/util/contract.hpp"
 #include "mcsim/util/csv.hpp"
 #include "mcsim/util/expected.hpp"
+#include "mcsim/util/json.hpp"
 #include "mcsim/util/log.hpp"
 #include "mcsim/util/rng.hpp"
 #include "mcsim/util/table.hpp"
@@ -72,6 +74,7 @@
 #include "mcsim/engine/trace_export.hpp"
 
 #include "mcsim/runner/campaign.hpp"
+#include "mcsim/runner/jobs.hpp"
 #include "mcsim/runner/memo.hpp"
 #include "mcsim/runner/runner.hpp"
 
@@ -87,3 +90,8 @@
 
 #include "mcsim/workflows/gallery.hpp"
 #include "mcsim/workflows/survey.hpp"
+
+#include "mcsim/serve/client.hpp"
+#include "mcsim/serve/daemon.hpp"
+#include "mcsim/serve/protocol.hpp"
+#include "mcsim/serve/service.hpp"

@@ -205,13 +205,18 @@ struct BillingLineItem {
 // -- scenario runner ----------------------------------------------------------
 /// Scenario memo-cache statistics for one runner batch: how many scenarios
 /// were served without re-simulation (`hits` — prior cache entries plus
-/// in-batch duplicates), how many were actually simulated (`misses`), and
-/// the cache population after the batch.  Emitted once per run, after every
-/// scenario's merged event stream.
+/// in-batch duplicates), how many were actually simulated (`misses`), the
+/// cache population after the batch, cumulative LRU `evictions` over the
+/// cache's lifetime, approximate resident `bytes`, and the batch hit rate
+/// hits / (hits + misses).  Emitted once per run, after every scenario's
+/// merged event stream.
 struct ScenarioCacheStats {
   std::size_t hits;
   std::size_t misses;
   std::size_t entries;
+  std::size_t evictions = 0;
+  std::size_t bytes = 0;
+  double hitRate = 0.0;
 };
 
 // -- self-profiling -----------------------------------------------------------
@@ -267,6 +272,33 @@ struct CampaignCompleted {
   double totalCpuSeconds;
 };
 
+// -- job queue ----------------------------------------------------------------
+/// A job was admitted to the runner's JobQueue: its id, scenario count and
+/// the number of jobs waiting for workers after admission (including this
+/// one).  Job lifecycle events are control-plane telemetry: they carry
+/// time < 0 (no simulation clock is in scope) and are emitted to the queue's
+/// own observer, never into per-request scenario streams.
+struct JobSubmitted {
+  std::uint64_t job;
+  std::size_t scenarios;
+  std::size_t queued;
+};
+
+/// A worker began executing the job's first fresh scenario.
+struct JobStarted {
+  std::uint64_t job;
+};
+
+/// The job reached a terminal state.  `outcome` is the integer value of
+/// runner::JobState (completed / failed / cancelled); `cached` counts the
+/// scenarios served from the memo cache instead of simulating.
+struct JobFinished {
+  std::uint64_t job;
+  std::uint8_t outcome;
+  std::size_t scenarios;
+  std::size_t cached;
+};
+
 // -- logging ------------------------------------------------------------------
 /// A util/log message routed through the event bus (satellite of the single
 /// logging path).  `level` is the integer value of mcsim::LogLevel.
@@ -288,7 +320,7 @@ using Payload = std::variant<
     ProcessorCrashed, TaskRetryScheduled, TaskFailed, TaskAbandoned,
     StorageOutageStarted, StorageOutageEnded, DeadlineExceeded,
     ScenarioCacheStats, PhaseProfile, WorkerProfile, RunnerBatchProfile,
-    ShardCompleted, CampaignCompleted>;
+    ShardCompleted, CampaignCompleted, JobSubmitted, JobStarted, JobFinished>;
 
 enum class EventKind : std::uint8_t {
   SimEventScheduled,
@@ -334,9 +366,12 @@ enum class EventKind : std::uint8_t {
   RunnerBatchProfile,
   ShardCompleted,
   CampaignCompleted,
+  JobSubmitted,
+  JobStarted,
+  JobFinished,
 };
 
-inline constexpr std::size_t kEventKindCount = 43;
+inline constexpr std::size_t kEventKindCount = 46;
 static_assert(std::variant_size_v<Payload> == kEventKindCount,
               "EventKind and Payload must list the same alternatives");
 

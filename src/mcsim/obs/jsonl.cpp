@@ -159,7 +159,9 @@ struct Writer {
   }
   void operator()(const ScenarioCacheStats& p) {
     os << ",\"hits\":" << p.hits << ",\"misses\":" << p.misses
-       << ",\"entries\":" << p.entries;
+       << ",\"entries\":" << p.entries << ",\"evictions\":" << p.evictions
+       << ",\"bytes\":" << p.bytes << ",\"hit_rate\":";
+    num(os, p.hitRate);
   }
   void operator()(const PhaseProfile& p) {
     os << ",\"phase\":" << static_cast<int>(p.phase) << ",\"wall_seconds\":";
@@ -188,6 +190,17 @@ struct Writer {
     num(os, p.makespanSeconds);
     os << ",\"total_cpu_seconds\":";
     num(os, p.totalCpuSeconds);
+  }
+
+  void operator()(const JobSubmitted& p) {
+    os << ",\"job\":" << p.job << ",\"scenarios\":" << p.scenarios
+       << ",\"queued\":" << p.queued;
+  }
+  void operator()(const JobStarted& p) { os << ",\"job\":" << p.job; }
+  void operator()(const JobFinished& p) {
+    os << ",\"job\":" << p.job
+       << ",\"outcome\":" << static_cast<int>(p.outcome)
+       << ",\"scenarios\":" << p.scenarios << ",\"cached\":" << p.cached;
   }
 
   void stage(std::uint32_t file, std::uint32_t task, double bytes) {

@@ -148,6 +148,10 @@ class MetricsSink final : public Sink {
   Counter& cacheHits_;
   Counter& cacheMisses_;
   Gauge& cacheEntries_;
+  // Server-cache instruments (PR-8 serve layer).  Evictions and bytes are
+  // cumulative/instantaneous in the event, so both are gauges.
+  Gauge& cacheEvictions_;
+  Gauge& cacheBytes_;
   Counter& workerBusySeconds_;
   Counter& workerScenarios_;
   Gauge& runnerJobs_;
@@ -158,6 +162,13 @@ class MetricsSink final : public Sink {
   Counter& shardsCompleted_;
   Counter& campaignsCompleted_;
   Counter& campaignTasks_;
+  // Job-queue lifecycle instruments (PR-8 serve layer).
+  Counter& jobsSubmitted_;
+  Counter& jobsCompleted_;
+  Counter& jobsFailed_;
+  Counter& jobsCancelled_;
+  Counter& jobScenarios_;
+  Gauge& jobsQueued_;
   /// Simulator wall-clock per internal phase, indexed by obs::SimPhase.
   std::array<Counter*, kSimPhaseCount> selfPhaseSeconds_{};
 

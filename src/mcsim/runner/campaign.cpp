@@ -6,6 +6,7 @@
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/obs/sink.hpp"
+#include "mcsim/runner/jobs.hpp"
 
 namespace mcsim::runner {
 
@@ -36,7 +37,7 @@ CampaignResult runCampaign(const std::vector<dag::Workflow>& shards,
 
   CampaignResult campaign;
   campaign.shards = shards.size();
-  campaign.shardResults = Runner(std::move(runnerOptions)).run(specs);
+  campaign.shardResults = runOnQueue(options.queue, specs, runnerOptions);
 
   for (const ScenarioResult& shard : campaign.shardResults) {
     const engine::ExecutionResult& r = shard.result;

@@ -25,6 +25,8 @@
 
 namespace mcsim::runner {
 
+class JobQueue;
+
 struct CampaignOptions {
   /// Per-shard platform configuration (processors, data mode, link,
   /// faults...).  `engine.observer` must be nullptr — observation is
@@ -39,6 +41,9 @@ struct CampaignOptions {
   obs::Sink* observer = nullptr;
   /// Optional scenario memo cache shared with other runs.
   ScenarioMemoCache* cache = nullptr;
+  /// Run the shard batch on this persistent JobQueue instead of a one-shot
+  /// runner; its workers and cache supersede `jobs`/`cache`.  Borrowed.
+  JobQueue* queue = nullptr;
 };
 
 /// Campaign-level aggregates over the shard results.

@@ -5,6 +5,7 @@
 
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/util/contract.hpp"
+#include "mcsim/util/usage_curve.hpp"
 
 namespace mcsim::runner {
 namespace {
@@ -145,6 +146,43 @@ std::uint64_t combineFingerprints(std::uint64_t workflowFingerprint,
   return h.value();
 }
 
+namespace {
+
+/// Approximate resident footprint of one entry: the struct itself plus the
+/// dominant heap vectors (event stream, per-task records, storage curve).
+/// Strings inside log events are not chased — this is a capacity signal,
+/// not an allocator audit.
+std::size_t approxEntryBytes(const ScenarioMemoCache::Entry& entry) {
+  return sizeof(ScenarioMemoCache::Entry) +
+         entry.events.size() * sizeof(obs::Event) +
+         entry.result.taskRecords.size() * sizeof(engine::TaskRecord) +
+         entry.result.storageCurve.eventCount() * sizeof(UsageEvent);
+}
+
+}  // namespace
+
+void ScenarioMemoCache::touch(const Node& node) const {
+  lru_.splice(lru_.begin(), lru_, node.recency);
+}
+
+void ScenarioMemoCache::evictOverCapacityLocked() {
+  const auto over = [&] {
+    return (options_.maxEntries != 0 &&
+            entries_.size() > options_.maxEntries) ||
+           (options_.maxBytes != 0 && bytes_ > options_.maxBytes);
+  };
+  while (over() && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    const auto it = entries_.find(victim);
+    MCSIM_ASSERT(it != entries_.end(), "memo LRU key ", victim,
+                 " missing from the entry map");
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::lookup(
     std::uint64_t key) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -154,7 +192,8 @@ std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::lookup(
     return std::nullopt;
   }
   ++hits_;
-  return it->second;
+  touch(it->second);
+  return it->second.entry;
 }
 
 std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::peek(
@@ -162,7 +201,8 @@ std::optional<ScenarioMemoCache::Entry> ScenarioMemoCache::peek(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  touch(it->second);
+  return it->second.entry;
 }
 
 bool ScenarioMemoCache::contains(std::uint64_t key) const {
@@ -177,11 +217,26 @@ void ScenarioMemoCache::insert(std::uint64_t key, Entry entry) {
   // config field (two scenarios collided) or the engine went nondeterministic.
   const auto it = entries_.find(key);
   MCSIM_ASSERT(it == entries_.end() ||
-                   (it->second.result.makespanSeconds ==
+                   (it->second.entry.result.makespanSeconds ==
                         entry.result.makespanSeconds &&
-                    it->second.events.size() == entry.events.size()),
+                    it->second.entry.events.size() == entry.events.size()),
                "memo key ", key, " re-inserted with a different result");
-  entries_[key] = std::move(entry);
+  const std::size_t entryBytes = approxEntryBytes(entry);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    it->second.entry = std::move(entry);
+    it->second.bytes = entryBytes;
+    touch(it->second);
+  } else {
+    lru_.push_front(key);
+    Node node;
+    node.entry = std::move(entry);
+    node.bytes = entryBytes;
+    node.recency = lru_.begin();
+    entries_.emplace(key, std::move(node));
+  }
+  bytes_ += entryBytes;
+  evictOverCapacityLocked();
 }
 
 void ScenarioMemoCache::recordBatchHits(std::size_t n) {
@@ -191,7 +246,13 @@ void ScenarioMemoCache::recordBatchHits(std::size_t n) {
 
 MemoStats ScenarioMemoCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return MemoStats{hits_, misses_, entries_.size()};
+  MemoStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = entries_.size();
+  stats.evictions = evictions_;
+  stats.bytes = bytes_;
+  return stats;
 }
 
 std::size_t ScenarioMemoCache::size() const {
@@ -202,6 +263,9 @@ std::size_t ScenarioMemoCache::size() const {
 void ScenarioMemoCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  evictions_ = 0;
   hits_ = 0;
   misses_ = 0;
 }

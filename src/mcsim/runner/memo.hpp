@@ -11,14 +11,23 @@
 // identical to a fresh run by construction, and enforced by the determinism
 // replay harness.
 //
+// Capacity: a default-constructed cache is unbounded (the batch-sweep
+// behavior since PR 4).  A server cache is constructed with
+// MemoCacheOptions bounds — max resident entries and/or approximate max
+// resident bytes — and evicts least-recently-used entries on insert until
+// both bounds hold again.  lookup/peek refresh recency; eviction and
+// resident-byte counters surface through MemoStats and the
+// scenario_cache_stats obs event.
+//
 // Hit/miss accounting is deterministic: the runner classifies every
 // scenario serially before any simulation starts, so counts never depend on
 // worker scheduling.  Thread safety: all members are mutex-guarded, so one
-// cache may be shared across concurrent Runner::run calls.
+// cache may be shared across concurrent Runner::run calls and server jobs.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -57,11 +66,27 @@ std::uint64_t fingerprintScenario(const dag::Workflow& workflow,
 std::uint64_t combineFingerprints(std::uint64_t workflowFingerprint,
                                   std::uint64_t configFingerprint);
 
+/// Capacity bounds for a server-grade cache.  0 means unbounded (the
+/// default, matching the historical per-sweep cache).
+struct MemoCacheOptions {
+  std::size_t maxEntries = 0;  ///< Max resident entries; 0 = unbounded.
+  std::size_t maxBytes = 0;    ///< Approx. max resident bytes; 0 = unbounded.
+};
+
 /// Cumulative cache statistics.
 struct MemoStats {
-  std::size_t hits = 0;    ///< Scenarios served without simulation.
-  std::size_t misses = 0;  ///< Scenarios that had to simulate.
-  std::size_t entries = 0; ///< Resident cached scenarios.
+  std::size_t hits = 0;       ///< Scenarios served without simulation.
+  std::size_t misses = 0;     ///< Scenarios that had to simulate.
+  std::size_t entries = 0;    ///< Resident cached scenarios.
+  std::size_t evictions = 0;  ///< Entries dropped to hold the capacity bound.
+  std::size_t bytes = 0;      ///< Approximate resident bytes.
+
+  /// hits / (hits + misses); 0 before any lookup.
+  double hitRate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
 };
 
 class ScenarioMemoCache {
@@ -74,14 +99,23 @@ class ScenarioMemoCache {
     std::vector<obs::Event> events;
   };
 
-  /// Copy of the entry for `key`, or nullopt.  Counts a hit or miss.
+  ScenarioMemoCache() = default;
+  explicit ScenarioMemoCache(MemoCacheOptions options) : options_(options) {}
+
+  const MemoCacheOptions& options() const { return options_; }
+
+  /// Copy of the entry for `key`, or nullopt.  Counts a hit or miss and
+  /// refreshes the entry's recency.
   std::optional<Entry> lookup(std::uint64_t key) const;
   /// Like lookup but never touches the hit/miss counters — used by the
   /// runner to serve in-batch duplicates it has already accounted for.
+  /// Still refreshes recency.
   std::optional<Entry> peek(std::uint64_t key) const;
-  /// True if `key` is resident, without touching hit/miss counters.
+  /// True if `key` is resident, without touching counters or recency.
   bool contains(std::uint64_t key) const;
-  /// Insert or overwrite the entry for `key`.
+  /// Insert or overwrite the entry for `key`, then evict least-recently-
+  /// used entries until the configured bounds hold.  A bounded cache may
+  /// evict the inserted entry itself when it alone exceeds maxBytes.
   void insert(std::uint64_t key, Entry entry);
   /// Count `n` scenarios served from in-batch deduplication as hits.
   void recordBatchHits(std::size_t n);
@@ -91,8 +125,23 @@ class ScenarioMemoCache {
   void clear();
 
  private:
+  struct Node {
+    Entry entry;
+    std::size_t bytes = 0;
+    /// Position in lru_; std::list splice never invalidates iterators.
+    std::list<std::uint64_t>::iterator recency;
+  };
+
+  void touch(const Node& node) const;
+  void evictOverCapacityLocked();
+
+  MemoCacheOptions options_;
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, Node> entries_;
+  /// Keys, most recently used first.  Mutable: lookups refresh recency.
+  mutable std::list<std::uint64_t> lru_;
+  std::size_t bytes_ = 0;
+  std::size_t evictions_ = 0;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };

@@ -1,197 +1,11 @@
 #include "mcsim/runner/runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <exception>
-#include <limits>
-#include <mutex>
-#include <numeric>
 #include <stdexcept>
-#include <string>
 #include <thread>
-#include <unordered_map>
 
-#include "mcsim/dag/workflow.hpp"
-#include "mcsim/obs/selfprofile.hpp"
-#include "mcsim/obs/sink.hpp"
-#include "mcsim/runner/memo.hpp"
+#include "mcsim/runner/jobs.hpp"
 
 namespace mcsim::runner {
-namespace {
-
-void validate(const std::vector<ScenarioSpec>& specs,
-              const RunnerOptions& options) {
-  if (options.jobs < 0)
-    throw std::invalid_argument("Runner: jobs must be >= 0");
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].workflow == nullptr)
-      throw std::invalid_argument("Runner: scenario " + std::to_string(i) +
-                                  " has no workflow");
-    if (specs[i].config.observer != nullptr)
-      throw std::invalid_argument(
-          "Runner: scenario " + std::to_string(i) +
-          " sets config.observer; per-scenario observation is managed by "
-          "the Runner (use RunnerOptions::observer)");
-  }
-}
-
-/// Execute scenario `i` into `out`, capturing its events when asked.
-void runOne(const ScenarioSpec& spec, std::size_t i,
-            const RunnerOptions& options, bool capture, ScenarioResult& out) {
-  out.index = i;
-  out.label = spec.label;
-  engine::EngineConfig cfg = spec.config;
-  if (options.baseSeed != 0)
-    cfg.faults.seed = deriveSeed(options.baseSeed, i);
-  // Self-profiling would put host wall-clock into the captured stream,
-  // breaking merge determinism and memo-cache replay; runner-level profiling
-  // lives in RunnerOptions::profile instead.
-  cfg.profile = false;
-  obs::CollectingSink collector;
-  cfg.observer = capture ? &collector : nullptr;
-  out.result = engine::simulateWorkflow(*spec.workflow, cfg);
-  out.events = collector.take();
-}
-
-/// Replay one scenario's stream into the shared observer, then drop the
-/// buffer unless the caller asked to keep it.
-void mergeOne(ScenarioResult& r, const RunnerOptions& options) {
-  if (options.observer != nullptr)
-    for (const obs::Event& e : r.events) options.observer->onEvent(e);
-  if (!options.keepEvents) {
-    r.events.clear();
-    r.events.shrink_to_fit();
-  }
-}
-
-/// Replay per-scenario streams into the shared observer in index order —
-/// byte-identical to what a serial instrumented sweep would have emitted —
-/// then drop the buffers unless the caller asked to keep them.
-void mergeEvents(std::vector<ScenarioResult>& results,
-                 const RunnerOptions& options) {
-  for (ScenarioResult& r : results) mergeOne(r, options);
-}
-
-constexpr std::size_t kRunFresh = std::numeric_limits<std::size_t>::max();
-
-/// Serve scenario `i` from a cache entry (a prior-run hit or an in-batch
-/// duplicate's representative), preserving the scenario's own identity.
-void fillFromEntry(ScenarioMemoCache::Entry entry, const ScenarioSpec& spec,
-                   std::size_t i, ScenarioResult& out) {
-  out.index = i;
-  out.label = spec.label;
-  out.result = std::move(entry.result);
-  out.events = std::move(entry.events);
-  out.fromCache = true;
-}
-
-/// Classification of a batch against the memo cache, computed serially
-/// before any simulation so hit/miss accounting and results never depend on
-/// worker scheduling.  Cache-hit scenarios are filled into `results`
-/// directly; duplicates point at an earlier representative; everything else
-/// lands in `toRun`.
-struct CachePlan {
-  std::vector<std::uint64_t> keys;
-  std::vector<std::size_t> dupOf;  ///< Representative index, or kRunFresh.
-  std::vector<std::size_t> toRun;
-  MemoStats before;  ///< Counter snapshot for per-batch stats deltas.
-};
-
-CachePlan planAgainstCache(const std::vector<ScenarioSpec>& specs,
-                           const RunnerOptions& options, bool capture,
-                           std::vector<ScenarioResult>& results) {
-  const std::size_t n = specs.size();
-  ScenarioMemoCache& cache = *options.cache;
-  CachePlan plan;
-  plan.before = cache.stats();
-  plan.keys.resize(n);
-  plan.dupOf.assign(n, kRunFresh);
-  // Workflow fingerprints are content hashes; memoize per pointer since
-  // sweeps share one workflow across hundreds of scenarios.
-  // mcsim-lint: allow(ptr-key) — identity-keyed amortization cache (one
-  // fingerprint per distinct Workflow object); looked up only, never
-  // iterated, so address order cannot reach any output.
-  std::unordered_map<const dag::Workflow*, std::uint64_t> workflowFp;
-  std::unordered_map<std::uint64_t, std::size_t> repByKey;
-  for (std::size_t i = 0; i < n; ++i) {
-    auto [it, fresh] = workflowFp.try_emplace(specs[i].workflow, 0);
-    if (fresh) it->second = fingerprintWorkflow(*specs[i].workflow);
-    engine::EngineConfig cfg = specs[i].config;
-    if (options.baseSeed != 0) cfg.faults.seed = deriveSeed(options.baseSeed, i);
-    plan.keys[i] =
-        combineFingerprints(it->second, fingerprintConfig(cfg, capture));
-    if (auto rep = repByKey.find(plan.keys[i]); rep != repByKey.end()) {
-      // Identical to a scenario already scheduled this batch: it will be
-      // served from the representative's entry after that entry exists.
-      plan.dupOf[i] = rep->second;
-      cache.recordBatchHits(1);
-      continue;
-    }
-    if (auto entry = cache.lookup(plan.keys[i])) {  // counts hit or miss
-      fillFromEntry(std::move(*entry), specs[i], i, results[i]);
-      continue;
-    }
-    repByKey.emplace(plan.keys[i], i);
-    plan.toRun.push_back(i);
-  }
-  return plan;
-}
-
-/// Store a freshly simulated representative.  The capture flag is part of
-/// the key, so an event-free entry can never serve a capturing caller.
-void insertEntry(ScenarioMemoCache& cache, std::uint64_t key,
-                 const ScenarioResult& r, bool capture) {
-  ScenarioMemoCache::Entry entry;
-  entry.result = r.result;
-  if (capture) entry.events = r.events;
-  cache.insert(key, std::move(entry));
-}
-
-void emitCacheStats(const ScenarioMemoCache& cache, const MemoStats& before,
-                    obs::Sink* observer) {
-  if (observer == nullptr) return;
-  const MemoStats after = cache.stats();
-  observer->onEvent(obs::Event{
-      0.0, obs::ScenarioCacheStats{after.hits - before.hits,
-                                   after.misses - before.misses,
-                                   after.entries}});
-}
-
-/// Monotonic wall-clock for the runner's opt-in self-profiling.  Readings
-/// reach the outside world only through WorkerProfile/RunnerBatchProfile
-/// events appended after the deterministic merged stream, and only when
-/// RunnerOptions::profile is set — they are never captured, memoized or
-/// merged into per-scenario streams.
-double wallNow() {
-  return std::chrono::duration<double>(
-             obs::ProfileClock::now().time_since_epoch())
-      .count();
-}
-
-/// Per-worker busy/scenario tallies for RunnerOptions::profile.
-struct WorkerTally {
-  double busySeconds = 0.0;
-  double wallSeconds = 0.0;
-  std::size_t scenarios = 0;
-};
-
-void emitProfile(const RunnerOptions& options,
-                 const std::vector<WorkerTally>& tallies,
-                 std::size_t scenarios, std::size_t cached,
-                 double batchWallSeconds) {
-  if (!options.profile || options.observer == nullptr) return;
-  for (std::size_t w = 0; w < tallies.size(); ++w)
-    options.observer->onEvent(obs::Event{
-        -1.0, obs::WorkerProfile{static_cast<int>(w), tallies[w].scenarios,
-                                 tallies[w].busySeconds,
-                                 tallies[w].wallSeconds}});
-  options.observer->onEvent(obs::Event{
-      -1.0, obs::RunnerBatchProfile{options.jobs, scenarios, cached,
-                                    batchWallSeconds}});
-}
-
-}  // namespace
 
 int defaultJobs() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -208,130 +22,27 @@ std::uint64_t deriveSeed(std::uint64_t baseSeed,
   return z ^ (z >> 31);
 }
 
+// The one-shot batch API is now a thin wrapper over the job queue: a
+// transient queue, one job, wait, rethrow.  All execution semantics
+// (serial fallback, cache planning, lowest-index-error, deterministic
+// merge, profiling) live in jobs.cpp; the differential test in
+// tests/runner/jobs_compat_test.cpp holds this wrapper byte-identical to
+// the legacy in-place implementation it replaced.
 std::vector<ScenarioResult> Runner::run(
     const std::vector<ScenarioSpec>& specs) const {
-  validate(specs, options_);
-  const std::size_t n = specs.size();
-  const bool capture = options_.observer != nullptr || options_.keepEvents;
-  const bool profile = options_.profile && options_.observer != nullptr;
-  const double batchStart = profile ? wallNow() : 0.0;
-  std::vector<ScenarioResult> results(n);
-
-  // With a cache, classify the whole batch up front; only `toRun`
-  // representatives are simulated.  Without one, everything runs fresh.
-  CachePlan plan;
-  if (options_.cache != nullptr) {
-    plan = planAgainstCache(specs, options_, capture, results);
-  } else {
-    plan.toRun.resize(n);
-    std::iota(plan.toRun.begin(), plan.toRun.end(), std::size_t{0});
-  }
-
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(
-          plan.toRun.size(), static_cast<std::size_t>(options_.jobs)));
-  if (workers <= 1) {
-    // jobs == 0 (or a degenerate batch): the exact legacy code path — run
-    // in the caller's thread, in spec order, merging each scenario's events
-    // as it completes so failures propagate at the same point they would
-    // have in the old serial sweeps.
-    std::vector<WorkerTally> tally(profile ? 1 : 0);
-    const auto timedRunOne = [&](std::size_t i) {
-      if (!profile) {
-        runOne(specs[i], i, options_, capture, results[i]);
-        return;
-      }
-      const double t0 = wallNow();
-      runOne(specs[i], i, options_, capture, results[i]);
-      tally[0].busySeconds += wallNow() - t0;
-      ++tally[0].scenarios;
-    };
-    for (std::size_t i = 0; i < n; ++i) {
-      if (options_.cache != nullptr) {
-        if (plan.dupOf[i] != kRunFresh) {
-          // The representative ran at a smaller index, so its entry exists.
-          fillFromEntry(std::move(*options_.cache->peek(plan.keys[i])),
-                        specs[i], i, results[i]);
-        } else if (!results[i].fromCache) {
-          timedRunOne(i);
-          insertEntry(*options_.cache, plan.keys[i], results[i], capture);
-        }
-      } else {
-        timedRunOne(i);
-      }
-      mergeOne(results[i], options_);
-    }
-    if (options_.cache != nullptr)
-      emitCacheStats(*options_.cache, plan.before, options_.observer);
-    if (profile) {
-      tally[0].wallSeconds = wallNow() - batchStart;
-      emitProfile(options_, tally, n, n - plan.toRun.size(),
-                  tally[0].wallSeconds);
-    }
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> cancelled{false};
-  std::mutex errorMutex;
-  std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr error;
-
-  std::vector<WorkerTally> tally(profile ? static_cast<std::size_t>(workers)
-                                         : 0);
-
-  auto worker = [&](int w) {
-    const double workerStart = profile ? wallNow() : 0.0;
-    while (!cancelled.load(std::memory_order_relaxed)) {
-      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= plan.toRun.size()) break;
-      const std::size_t i = plan.toRun[k];
-      try {
-        if (profile) {
-          const double t0 = wallNow();
-          runOne(specs[i], i, options_, capture, results[i]);
-          auto& t = tally[static_cast<std::size_t>(w)];
-          t.busySeconds += wallNow() - t0;
-          ++t.scenarios;
-        } else {
-          runOne(specs[i], i, options_, capture, results[i]);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(errorMutex);
-        // Keep the lowest-index failure so the error a caller sees does not
-        // depend on worker scheduling when several scenarios are doomed.
-        if (i < errorIndex) {
-          errorIndex = i;
-          error = std::current_exception();
-        }
-        cancelled.store(true, std::memory_order_relaxed);
-      }
-    }
-    if (profile)
-      tally[static_cast<std::size_t>(w)].wallSeconds = wallNow() - workerStart;
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
-  for (std::thread& t : pool) t.join();
-
-  if (error) std::rethrow_exception(error);
-  if (options_.cache != nullptr) {
-    for (std::size_t i : plan.toRun)
-      insertEntry(*options_.cache, plan.keys[i], results[i], capture);
-    for (std::size_t i = 0; i < n; ++i)
-      if (plan.dupOf[i] != kRunFresh)
-        fillFromEntry(std::move(*options_.cache->peek(plan.keys[i])),
-                      specs[i], i, results[i]);
-  }
-  mergeEvents(results, options_);
-  if (options_.cache != nullptr)
-    emitCacheStats(*options_.cache, plan.before, options_.observer);
-  if (profile)
-    emitProfile(options_, tally, n, n - plan.toRun.size(),
-                wallNow() - batchStart);
-  return results;
+  if (options_.jobs < 0)
+    throw std::invalid_argument("Runner: jobs must be >= 0");
+  JobQueueOptions queueOptions;
+  queueOptions.workers = options_.jobs;
+  queueOptions.maxQueuedJobs = 1;
+  queueOptions.cache = options_.cache;
+  JobQueue queue(queueOptions);
+  JobOptions jobOptions;
+  jobOptions.baseSeed = options_.baseSeed;
+  jobOptions.observer = options_.observer;
+  jobOptions.keepEvents = options_.keepEvents;
+  jobOptions.profile = options_.profile;
+  return queue.run(specs, jobOptions);
 }
 
 std::vector<ScenarioResult> runScenarios(const std::vector<ScenarioSpec>& specs,

@@ -1,0 +1,39 @@
+// ServeClient: the CLI's (and the tests') connection to a running daemon.
+//
+// One client holds one AF_UNIX connection and exchanges newline-delimited
+// JSON request/response pairs — call() writes one line and blocks for one
+// line back, which is exactly the protocol's pacing (the "result" verb can
+// legitimately block for the length of a simulation).  fetchMetrics() opens
+// its own short-lived connection and speaks the HTTP special case instead,
+// mirroring what a Prometheus scraper would do.
+#pragma once
+
+#include <string>
+
+#include "mcsim/util/json.hpp"
+
+namespace mcsim::serve {
+
+class ServeClient {
+ public:
+  /// Connects immediately; throws std::runtime_error if the daemon is not
+  /// listening at `socketPath`.
+  explicit ServeClient(const std::string& socketPath);
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// Send one request, block for the matching response line.  Throws
+  /// std::runtime_error if the daemon hangs up mid-exchange.
+  json::JsonValue call(const json::JsonValue& request);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes read past the last response line.
+};
+
+/// Scrape the daemon's Prometheus exposition over a fresh connection using
+/// the HTTP "GET /metrics" special case; returns the response body.
+std::string fetchMetrics(const std::string& socketPath);
+
+}  // namespace mcsim::serve

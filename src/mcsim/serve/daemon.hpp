@@ -1,0 +1,92 @@
+// ServeDaemon: the socket transport for SimulationService.
+//
+// Listens on an AF_UNIX stream socket and speaks the newline-delimited JSON
+// protocol from protocol.hpp, one connection per client, one thread per
+// connection (the heavy lifting happens inside the service's worker pool, so
+// connection threads mostly block on reads).  A connection whose first bytes
+// spell "GET /metrics" instead receives a plain HTTP/1.0 response carrying
+// the Prometheus text exposition — curl and off-the-shelf scrapers can mount
+// the socket without speaking JSON.
+//
+// Shutdown: requestStop() is async-signal-safe (an atomic flag plus one
+// write to a self-pipe), so the CLI installs it directly as its SIGTERM and
+// SIGINT handler.  stop() additionally shuts down live connection sockets so
+// blocked reads unblock; wait() joins everything.  A client "shutdown" verb
+// is answered first, then treated as requestStop().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsim/serve/service.hpp"
+
+namespace mcsim::serve {
+
+struct DaemonOptions {
+  /// Filesystem path of the AF_UNIX listening socket.  An existing socket
+  /// file at this path is unlinked before binding (stale sockets from a
+  /// crashed daemon would otherwise wedge restarts).
+  std::string socketPath = "mcsim.sock";
+  ServiceOptions service;
+};
+
+class ServeDaemon {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket errors.
+  explicit ServeDaemon(DaemonOptions options);
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+  /// Implies stop() + wait().
+  ~ServeDaemon();
+
+  /// Start the accept loop on a background thread.  Idempotent.
+  void start();
+
+  /// Async-signal-safe stop request: sets the flag and pokes the accept
+  /// loop's self-pipe.  Safe to call from a signal handler.
+  void requestStop();
+
+  /// Full stop: requestStop() plus shutdown of live connection sockets so
+  /// blocked reads return.  Not signal-safe.
+  void stop();
+
+  /// Join the accept loop and every connection thread.  Returns once all
+  /// in-flight requests have been answered or abandoned.
+  void wait();
+
+  /// True until requestStop()/stop() is called.
+  bool running() const { return !stopRequested_.load(); }
+
+  const std::string& socketPath() const { return options_.socketPath; }
+  SimulationService& service() { return service_; }
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+  void handleHttp(int fd, const std::string& firstLine);
+  void reapFinishedConnections();
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  DaemonOptions options_;
+  SimulationService service_;
+
+  int listenFd_ = -1;
+  int wakePipe_[2] = {-1, -1};  ///< [0]=poll end, [1]=requestStop() end.
+  std::atomic<bool> stopRequested_{false};
+
+  std::thread acceptThread_;
+  bool started_ = false;
+
+  std::mutex connectionsMutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mcsim::serve

@@ -1,222 +1,17 @@
-// Minimal JSON parser for test assertions — just enough to verify that the
-// exporters (JSONL event log, report.json, Chrome traces) emit well-formed
-// JSON and to poke at fields.  Throws std::runtime_error on malformed input.
+// Compatibility shim: the test JSON helper graduated into the library as
+// mcsim/util/json.hpp when the serve layer needed a real request/response
+// codec.  Existing tests keep including this header and using the
+// mcsim::test names; new code should use mcsim::json directly.
 #pragma once
 
-#include <cctype>
-#include <cmath>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <variant>
-#include <vector>
+#include "mcsim/util/json.hpp"
 
 namespace mcsim::test {
 
-class JsonValue;
-using JsonArray = std::vector<JsonValue>;
-using JsonObject = std::map<std::string, JsonValue>;
-
-class JsonValue {
- public:
-  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
-                               JsonArray, JsonObject>;
-
-  JsonValue() : v_(nullptr) {}
-  JsonValue(Storage v) : v_(std::move(v)) {}
-
-  bool isNull() const { return std::holds_alternative<std::nullptr_t>(v_); }
-  bool isNumber() const { return std::holds_alternative<double>(v_); }
-  bool isString() const { return std::holds_alternative<std::string>(v_); }
-  bool isArray() const { return std::holds_alternative<JsonArray>(v_); }
-  bool isObject() const { return std::holds_alternative<JsonObject>(v_); }
-
-  bool asBool() const { return std::get<bool>(v_); }
-  double asNumber() const { return std::get<double>(v_); }
-  const std::string& asString() const { return std::get<std::string>(v_); }
-  const JsonArray& asArray() const { return std::get<JsonArray>(v_); }
-  const JsonObject& asObject() const { return std::get<JsonObject>(v_); }
-
-  /// Object member access; throws if absent or not an object.
-  const JsonValue& at(const std::string& key) const {
-    const JsonObject& obj = asObject();
-    auto it = obj.find(key);
-    if (it == obj.end())
-      throw std::runtime_error("json: missing key '" + key + "'");
-    return it->second;
-  }
-  bool has(const std::string& key) const {
-    return isObject() && asObject().count(key) != 0;
-  }
-
- private:
-  Storage v_;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parseValue();
-    skipSpace();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consumeWord(const char* word) {
-    std::size_t n = 0;
-    while (word[n] != '\0') ++n;
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue parseValue() {
-    skipSpace();
-    switch (peek()) {
-      case '{': return parseObject();
-      case '[': return parseArray();
-      case '"': return JsonValue(parseString());
-      case 't':
-        if (consumeWord("true")) return JsonValue(true);
-        fail("bad literal");
-      case 'f':
-        if (consumeWord("false")) return JsonValue(false);
-        fail("bad literal");
-      case 'n':
-        if (consumeWord("null")) return JsonValue(nullptr);
-        fail("bad literal");
-      default: return parseNumber();
-    }
-  }
-
-  JsonValue parseObject() {
-    expect('{');
-    JsonObject obj;
-    skipSpace();
-    if (peek() == '}') {
-      ++pos_;
-      return JsonValue(std::move(obj));
-    }
-    while (true) {
-      skipSpace();
-      std::string key = parseString();
-      skipSpace();
-      expect(':');
-      obj.emplace(std::move(key), parseValue());
-      skipSpace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return JsonValue(std::move(obj));
-    }
-  }
-
-  JsonValue parseArray() {
-    expect('[');
-    JsonArray arr;
-    skipSpace();
-    if (peek() == ']') {
-      ++pos_;
-      return JsonValue(std::move(arr));
-    }
-    while (true) {
-      arr.push_back(parseValue());
-      skipSpace();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return JsonValue(std::move(arr));
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          unsigned code = static_cast<unsigned>(
-              std::stoul(text_.substr(pos_, 4), nullptr, 16));
-          pos_ += 4;
-          // Tests only use ASCII; reject anything that would need UTF-8.
-          if (code > 0x7f) fail("non-ascii \\u escape");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default: fail("bad escape");
-      }
-    }
-  }
-
-  JsonValue parseNumber() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected number");
-    std::size_t used = 0;
-    const std::string slice = text_.substr(start, pos_ - start);
-    const double value = std::stod(slice, &used);
-    if (used != slice.size()) fail("bad number");
-    return JsonValue(value);
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-inline JsonValue parseJson(const std::string& text) {
-  return JsonParser(text).parse();
-}
+using mcsim::json::JsonArray;
+using mcsim::json::JsonObject;
+using mcsim::json::JsonParser;
+using mcsim::json::JsonValue;
+using mcsim::json::parseJson;
 
 }  // namespace mcsim::test

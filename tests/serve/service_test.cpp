@@ -1,0 +1,252 @@
+// SimulationService: the transport-independent server core.  The headline
+// contracts under test: per-request results byte-identical to an equivalent
+// runScenarios batch (including with >= 8 concurrent in-flight requests),
+// backpressure as a retryable refusal, per-request event isolation, and a
+// live Prometheus exposition.
+#include "mcsim/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcsim/serve/protocol.hpp"
+
+namespace mcsim::serve {
+namespace {
+
+json::JsonValue submitVerb(const std::string& workflow,
+                           const std::vector<int>& procs,
+                           bool events = false) {
+  json::JsonArray scenarios;
+  for (int p : procs) {
+    json::JsonObject s;
+    s["mode"] = std::string("regular");
+    s["processors"] = p;
+    scenarios.push_back(json::JsonValue(std::move(s)));
+  }
+  json::JsonObject request;
+  request["workflow"] = workflow;
+  request["scenarios"] = std::move(scenarios);
+  if (events) request["events"] = true;
+  json::JsonObject verb;
+  verb["verb"] = std::string("submit");
+  verb["request"] = std::move(request);
+  return json::JsonValue(std::move(verb));
+}
+
+json::JsonValue jobVerb(const std::string& verb, double job) {
+  json::JsonObject o;
+  o["verb"] = verb;
+  o["job"] = job;
+  return json::JsonValue(std::move(o));
+}
+
+/// Strip the `from_cache` provenance flag from a results array: whether a
+/// request was served from the shared server cache depends on how warm it
+/// was, but every simulated value must stay byte-identical regardless.
+json::JsonValue scrubProvenance(const json::JsonValue& results) {
+  json::JsonArray scrubbed;
+  for (const json::JsonValue& r : results.asArray()) {
+    json::JsonObject o = r.asObject();
+    o.erase("from_cache");
+    scrubbed.push_back(json::JsonValue(std::move(o)));
+  }
+  return json::JsonValue(std::move(scrubbed));
+}
+
+/// The batch-mode golden for a submit of `procs` against `workflow`.
+std::string batchGolden(const std::string& workflow,
+                        const std::vector<int>& procs,
+                        const cloud::Pricing& pricing) {
+  const dag::Workflow wf = loadWorkflowSpec(workflow);
+  std::vector<runner::ScenarioSpec> specs;
+  for (int p : procs) {
+    runner::ScenarioSpec spec;
+    spec.workflow = &wf;
+    spec.config.processors = p;
+    specs.push_back(spec);
+  }
+  return json::dumpJson(scrubProvenance(
+      scenarioResultsToJson(runner::runScenarios(specs), pricing)));
+}
+
+TEST(SimulationService, PingAndUnknownVerb) {
+  SimulationService service({.workers = 0});
+  json::JsonObject ping;
+  ping["verb"] = std::string("ping");
+  ping["id"] = 7;
+  const json::JsonValue pong = service.handle(json::JsonValue(ping));
+  EXPECT_TRUE(pong.at("ok").asBool());
+  EXPECT_EQ(pong.at("id").asNumber(), 7.0);
+  EXPECT_EQ(pong.at("service").asString(), "mcsim-serve");
+
+  json::JsonObject bogus;
+  bogus["verb"] = std::string("frobnicate");
+  const json::JsonValue err = service.handle(json::JsonValue(bogus));
+  EXPECT_FALSE(err.at("ok").asBool());
+  EXPECT_NE(err.at("error").asString().find("unknown verb"),
+            std::string::npos);
+  // handle() never throws, even on non-object requests.
+  EXPECT_FALSE(service.handle(json::JsonValue(3.0)).at("ok").asBool());
+}
+
+TEST(SimulationService, SubmitResultMatchesBatchGolden) {
+  SimulationService service({.workers = 2});
+  const std::vector<int> procs = {1, 4};
+  const json::JsonValue submitted =
+      service.handle(submitVerb("montage:0.2", procs));
+  ASSERT_TRUE(submitted.at("ok").asBool());
+  EXPECT_EQ(submitted.at("scenarios").asNumber(), 2.0);
+
+  const json::JsonValue reply =
+      service.handle(jobVerb("result", submitted.at("job").asNumber()));
+  ASSERT_TRUE(reply.at("ok").asBool());
+  EXPECT_EQ(reply.at("state").asString(), "completed");
+  EXPECT_EQ(json::dumpJson(scrubProvenance(reply.at("results"))),
+            batchGolden("montage:0.2", procs, service.options().pricing));
+}
+
+TEST(SimulationService, EightConcurrentRequestsStayByteIdentical) {
+  SimulationService service({.workers = 4, .maxQueuedJobs = 32});
+  const std::vector<int> procs = {1, 2, 4};
+  const std::string golden =
+      batchGolden("montage:0.2", procs, service.options().pricing);
+
+  constexpr int kRequests = 8;
+  std::vector<double> jobs(kRequests, 0.0);
+  for (int i = 0; i < kRequests; ++i) {
+    const json::JsonValue submitted =
+        service.handle(submitVerb("montage:0.2", procs));
+    ASSERT_TRUE(submitted.at("ok").asBool()) << "request " << i;
+    jobs[i] = submitted.at("job").asNumber();
+  }
+  // All eight are in flight before the first result is claimed; claim them
+  // from concurrent threads like eight independent clients would.
+  std::vector<std::string> rendered(kRequests);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kRequests; ++i) {
+    clients.emplace_back([&, i] {
+      const json::JsonValue reply =
+          service.handle(jobVerb("result", jobs[i]));
+      if (reply.at("ok").asBool() &&
+          reply.at("state").asString() == "completed")
+        rendered[i] = json::dumpJson(scrubProvenance(reply.at("results")));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kRequests; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(rendered[i], golden);
+  }
+}
+
+TEST(SimulationService, BackpressureIsRetryable) {
+  // workers=1 and a depth-1 admission queue: hammering submits must produce
+  // at least one {"ok":false,"retryable":true} refusal and zero crashes.
+  SimulationService service({.workers = 1, .maxQueuedJobs = 1});
+  int refused = 0;
+  std::vector<double> jobs;
+  for (int i = 0; i < 8; ++i) {
+    const json::JsonValue reply =
+        service.handle(submitVerb("montage:0.2", {1}));
+    if (reply.at("ok").asBool()) {
+      jobs.push_back(reply.at("job").asNumber());
+    } else {
+      EXPECT_EQ(reply.at("error").asString(), "queue full");
+      EXPECT_TRUE(reply.at("retryable").asBool());
+      ++refused;
+    }
+  }
+  EXPECT_GT(refused, 0);
+  for (double job : jobs) {
+    const json::JsonValue reply = service.handle(jobVerb("result", job));
+    EXPECT_TRUE(reply.at("ok").asBool());
+  }
+}
+
+TEST(SimulationService, EventsComeBackIsolatedPerRequest) {
+  SimulationService service({.workers = 2});
+  const json::JsonValue with =
+      service.handle(submitVerb("montage:0.2", {1}, /*events=*/true));
+  const json::JsonValue without =
+      service.handle(submitVerb("montage:0.2", {2}, /*events=*/false));
+  ASSERT_TRUE(with.at("ok").asBool());
+  ASSERT_TRUE(without.at("ok").asBool());
+
+  const json::JsonValue withReply =
+      service.handle(jobVerb("result", with.at("job").asNumber()));
+  const json::JsonValue withoutReply =
+      service.handle(jobVerb("result", without.at("job").asNumber()));
+  ASSERT_TRUE(withReply.at("ok").asBool());
+  // Only the events:true request carries a stream, and it is non-empty
+  // JSONL (every line is an event object).
+  ASSERT_TRUE(withReply.has("events_jsonl"));
+  const std::string& jsonl = withReply.at("events_jsonl").asString();
+  EXPECT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.front(), '{');
+  EXPECT_FALSE(withoutReply.has("events_jsonl"));
+}
+
+TEST(SimulationService, StatusAndCancelVerbs) {
+  SimulationService service({.workers = 1, .maxQueuedJobs = 8});
+  const json::JsonValue a = service.handle(submitVerb("montage:0.2", {1, 2}));
+  const json::JsonValue b = service.handle(submitVerb("montage:0.2", {1, 2}));
+  ASSERT_TRUE(a.at("ok").asBool());
+  ASSERT_TRUE(b.at("ok").asBool());
+
+  const json::JsonValue status =
+      service.handle(jobVerb("status", b.at("job").asNumber()));
+  ASSERT_TRUE(status.at("ok").asBool());
+  EXPECT_EQ(status.at("total_scenarios").asNumber(), 2.0);
+
+  service.handle(jobVerb("cancel", b.at("job").asNumber()));
+  const json::JsonValue bReply =
+      service.handle(jobVerb("result", b.at("job").asNumber()));
+  ASSERT_TRUE(bReply.at("ok").asBool());
+  // b was either cancelled in time or had already completed; both are
+  // legitimate, but nothing in between.
+  const std::string& state = bReply.at("state").asString();
+  EXPECT_TRUE(state == "cancelled" || state == "completed") << state;
+
+  EXPECT_EQ(service
+                .handle(jobVerb("result", a.at("job").asNumber()))
+                .at("state")
+                .asString(),
+            "completed");
+
+  // result on a retired id is an error reply, not a crash.
+  EXPECT_FALSE(service.handle(jobVerb("result", a.at("job").asNumber()))
+                   .at("ok")
+                   .asBool());
+  EXPECT_FALSE(service.handle(jobVerb("status", 0)).at("ok").asBool());
+}
+
+TEST(SimulationService, MetricsExposeCacheAndJobInstruments) {
+  SimulationService service(
+      {.workers = 2, .cache = runner::MemoCacheOptions{4, 0}});
+  // Two identical submits: the second is served from the bounded cache.
+  for (int i = 0; i < 2; ++i) {
+    const json::JsonValue submitted =
+        service.handle(submitVerb("montage:0.2", {1, 2}));
+    ASSERT_TRUE(submitted.at("ok").asBool());
+    service.handle(jobVerb("result", submitted.at("job").asNumber()));
+  }
+  const std::string text = service.metricsText();
+  EXPECT_NE(text.find("mcsim_cache_hits 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("mcsim_cache_misses 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("mcsim_cache_entries 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("mcsim_cache_evictions"), std::string::npos);
+  EXPECT_NE(text.find("mcsim_cache_bytes"), std::string::npos);
+  EXPECT_NE(text.find("mcsim_jobs_submitted_total 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcsim_jobs_completed_total 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcsim_job_scenarios_total 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mcsim_jobs_queued 0"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace mcsim::serve

@@ -9,11 +9,14 @@
 //   mcsim explain  --workflow montage:4 --mode cleanup [--json] [--top 20]
 //   mcsim dax      --workflow montage:1 --out montage1.dax
 //   mcsim survey   --tiles 1000 --shards 8 --jobs 8
+//   mcsim serve    --socket /tmp/mcsim.sock --jobs 8
+//   mcsim request  --socket /tmp/mcsim.sock --workflow montage:4 --procs 1,16
 //
 // --workflow accepts montage:<degrees>, cybershake, epigenomics, inspiral,
 // sipht, or a path to a DAX file.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,6 +40,14 @@ commands:
   dax       write the workflow as a DAX XML file
   survey    build a sky-survey campaign (many Montage tiles via the
             streaming builder) and simulate it as concurrent shards
+  serve     run the simulation daemon on a unix socket (NDJSON protocol;
+            also answers HTTP "GET /metrics" for Prometheus scrapers)
+  request   submit a scenario batch to a running daemon and wait for the
+            result (one scenario per --procs entry); prints the JSON reply
+  status    poll a job on a running daemon (--job <id>)
+  cancel    cancel a job on a running daemon (--job <id>)
+  metrics   scrape a running daemon's Prometheus exposition
+  shutdown  ask a running daemon to stop
   version   print version, git SHA and build type (also --version)
 
 common options:
@@ -80,6 +91,17 @@ survey options (survey takes no --workflow; tiles are generated):
                          workflows simulated concurrently
                          (default: --jobs; 1 when --overlap > 0)
 
+serve / client options:
+  --socket <path>     daemon unix socket path        (default mcsim.sock)
+  --queue-depth <n>   (serve) max queued jobs before submits are refused
+                      with a retryable "queue full"  (default 64)
+  --cache-entries <n> (serve) memo-cache entry bound (default 256)
+  --cache-bytes <n>   (serve) memo-cache byte bound  (default 256 MiB)
+  --job <id>          (status/cancel) job id from a submit reply
+  --base-seed <n>     (request) derive per-scenario fault seeds
+  --events            (request) return the job's merged JSONL event
+                      stream inside the result reply
+
 fault injection (simulate: single --mtbf; reliability: comma list):
   --mtbf <s|list>     processor MTBF in simulated seconds; 0 = off
   --retries <n>       retry budget per task                 (default 3)
@@ -89,16 +111,6 @@ fault injection (simulate: single --mtbf; reliability: comma list):
   --deadline <s>      (simulate) workflow deadline; 0 = none
   --fault-seed <n>    fault Rng seed                        (default 1)
 )";
-
-dag::Workflow loadWorkflow(const std::string& spec) {
-  if (spec.rfind("montage:", 0) == 0)
-    return montage::buildMontageWorkflow(std::stod(spec.substr(8)));
-  if (spec == "cybershake") return workflows::buildCyberShake();
-  if (spec == "epigenomics") return workflows::buildEpigenomics();
-  if (spec == "inspiral") return workflows::buildInspiral();
-  if (spec == "sipht") return workflows::buildSipht();
-  return dag::readDaxFile(spec);
-}
 
 LogLevel parseLogLevel(const std::string& name) {
   if (name == "debug") return LogLevel::Debug;
@@ -493,6 +505,104 @@ int cmdSurvey(const ArgParser& args) {
   return 0;
 }
 
+serve::ServeDaemon* gServeDaemon = nullptr;
+
+/// SIGTERM/SIGINT: requestStop() is async-signal-safe by contract.
+void onStopSignal(int) {
+  if (gServeDaemon != nullptr) gServeDaemon->requestStop();
+}
+
+int cmdServe(const ArgParser& args) {
+  serve::DaemonOptions options;
+  options.socketPath = args.valueOr("socket", "mcsim.sock");
+  options.service.workers = parseJobs(args);
+  const int depth = args.intOr("queue-depth", 64);
+  if (depth < 1) throw std::invalid_argument("--queue-depth must be >= 1");
+  options.service.maxQueuedJobs = static_cast<std::size_t>(depth);
+  const double entries = args.numberOr("cache-entries", 256.0);
+  const double bytes = args.numberOr("cache-bytes", 256.0 * 1024 * 1024);
+  if (entries < 0 || bytes < 0)
+    throw std::invalid_argument("cache bounds must be >= 0");
+  options.service.cache.maxEntries = static_cast<std::size_t>(entries);
+  options.service.cache.maxBytes = static_cast<std::size_t>(bytes);
+
+  serve::ServeDaemon daemon(options);
+  gServeDaemon = &daemon;
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  daemon.start();
+  // Flush immediately: scripts (and the CI smoke job) wait for this line
+  // before connecting.
+  std::cout << "mcsim serve: listening on " << daemon.socketPath() << " ("
+            << options.service.workers << " workers)" << std::endl;
+  daemon.wait();
+  gServeDaemon = nullptr;
+  std::cout << "mcsim serve: stopped\n";
+  return 0;
+}
+
+int cmdRequest(const ArgParser& args) {
+  json::JsonObject request;
+  request["workflow"] = args.valueOr("workflow", "montage:1");
+  json::JsonArray scenarios;
+  for (int p : parseIntList(args.valueOr("procs", "8"))) {
+    json::JsonObject s;
+    s["mode"] = args.valueOr("mode", "regular");
+    s["processors"] = p;
+    s["bandwidth_mbps"] = args.numberOr("bandwidth", 10.0);
+    const double mtbf = args.numberOr("mtbf", 0.0);
+    if (mtbf > 0.0) {
+      s["mtbf_seconds"] = mtbf;
+      s["fault_seed"] = args.numberOr("fault-seed", 1.0);
+    }
+    scenarios.push_back(json::JsonValue(std::move(s)));
+  }
+  request["scenarios"] = std::move(scenarios);
+  if (const auto seed = args.value("base-seed"))
+    request["base_seed"] = std::stod(*seed);
+  if (args.hasFlag("events")) request["events"] = true;
+
+  serve::ServeClient client(args.valueOr("socket", "mcsim.sock"));
+  json::JsonObject submit;
+  submit["verb"] = std::string("submit");
+  submit["request"] = std::move(request);
+  const json::JsonValue submitted = client.call(json::JsonValue(submit));
+  if (!submitted.at("ok").asBool()) {
+    std::cerr << "mcsim request: " << submitted.at("error").asString()
+              << "\n";
+    return 1;
+  }
+
+  json::JsonObject result;
+  result["verb"] = std::string("result");
+  result["job"] = submitted.at("job");
+  const json::JsonValue reply = client.call(json::JsonValue(result));
+  std::cout << json::dumpJson(reply) << "\n";
+  return reply.at("ok").asBool() &&
+                 reply.at("state").asString() == "completed"
+             ? 0
+             : 1;
+}
+
+/// status / cancel / shutdown: one verb, optional --job, reply printed raw.
+int cmdServeVerb(const std::string& verb, const ArgParser& args) {
+  json::JsonObject request;
+  request["verb"] = verb;
+  if (const auto job = args.value("job"))
+    request["job"] = std::stod(*job);
+  else if (verb != "shutdown")
+    throw std::invalid_argument(verb + ": --job <id> required");
+  serve::ServeClient client(args.valueOr("socket", "mcsim.sock"));
+  const json::JsonValue reply = client.call(json::JsonValue(request));
+  std::cout << json::dumpJson(reply) << "\n";
+  return reply.at("ok").asBool() ? 0 : 1;
+}
+
+int cmdMetrics(const ArgParser& args) {
+  std::cout << serve::fetchMetrics(args.valueOr("socket", "mcsim.sock"));
+  return 0;
+}
+
 int cmdDax(const dag::Workflow& wf, const ArgParser& args) {
   const auto out = args.value("out");
   if (!out) throw std::invalid_argument("dax: --out <path> required");
@@ -524,14 +634,25 @@ int main(int argc, char** argv) {
                     "retries", "retry-policy", "retry-delay", "jitter",
                     "deadline", "fault-seed", "jobs", "billing", "top",
                     "tiles", "tile-degrees", "overlap", "runtime-jitter",
-                    "release-interval", "survey-seed", "shards"},
-                   {"csv", "json", "profile"});
+                    "release-interval", "survey-seed", "shards", "socket",
+                    "job", "queue-depth", "cache-entries", "cache-bytes",
+                    "base-seed"},
+                   {"csv", "json", "profile", "events"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
       setLogLevel(parseLogLevel(*level));
     // survey generates its campaign; it takes no --workflow.
     if (command == "survey") return cmdSurvey(args);
-    const dag::Workflow wf = loadWorkflow(args.valueOr("workflow", "montage:1"));
+    // The serve family talks to (or is) the daemon; the daemon loads
+    // workflows per request, so none of these load one here.
+    if (command == "serve") return cmdServe(args);
+    if (command == "request") return cmdRequest(args);
+    if (command == "status") return cmdServeVerb("status", args);
+    if (command == "cancel") return cmdServeVerb("cancel", args);
+    if (command == "shutdown") return cmdServeVerb("shutdown", args);
+    if (command == "metrics") return cmdMetrics(args);
+    const dag::Workflow wf =
+        serve::loadWorkflowSpec(args.valueOr("workflow", "montage:1"));
 
     if (command == "info") return cmdInfo(wf, args);
     if (command == "simulate") return cmdSimulate(wf, args);
