@@ -11,7 +11,7 @@
 
 int main(int, char**) {
   using namespace mcsim;
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
   const dag::Workflow request = montage::buildMontageWorkflow(1.0);
   const int pool = 64;
 

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       "degree (usage billing)");
   Table t({"provider", "mode", "storage $", "transfer $", "DM $", "rank"});
   for (const cloud::Pricing& pricing :
-       {cloud::Pricing::amazon2008(), cloud::Pricing::storageHeavyProvider()}) {
+       {cloud::ProviderCatalog::builtin().pricing("amazon-2008"), cloud::ProviderCatalog::builtin().pricing("storage-heavy")}) {
     const auto rows = analysis::dataModeComparison(
         wf, pricing, {.queue = &bench::sharedQueue(jobs)});
     // Rank by DM cost.
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
   std::cout << sectionBanner(
       "A3 — provisioning sweet spot under a compute-discount provider");
   const auto amazonPts = analysis::provisioningSweep(
-      wf, cloud::Pricing::amazon2008(),
+      wf, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
       {.processorCounts = {1, 8, 64}, .queue = &bench::sharedQueue(jobs)});
   const auto discountPts = analysis::provisioningSweep(
-      wf, cloud::Pricing::computeDiscountProvider(),
+      wf, cloud::ProviderCatalog::builtin().pricing("compute-discount"),
       {.processorCounts = {1, 8, 64}, .queue = &bench::sharedQueue(jobs)});
   Table t2({"procs", "amazon-2008 total", "compute-discount total"});
   for (std::size_t i = 0; i < amazonPts.size(); ++i) {

@@ -12,9 +12,9 @@ int main(int, char**) {
   const auto wf = montage::buildMontageWorkflow(2.0);
   const analysis::RequestShape shape = analysis::shapeFromWorkflow(wf);
   const std::vector<cloud::Pricing> providers = {
-      cloud::Pricing::amazon2008(),
-      cloud::Pricing::computeDiscountProvider(),
-      cloud::Pricing::storageHeavyProvider(),
+      cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
+      cloud::ProviderCatalog::builtin().pricing("compute-discount"),
+      cloud::ProviderCatalog::builtin().pricing("storage-heavy"),
   };
 
   for (double volume : {1000.0, 18000.0, 100000.0}) {

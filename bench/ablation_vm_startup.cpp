@@ -6,7 +6,7 @@
 
 int main(int, char**) {
   using namespace mcsim;
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
   const dag::Workflow wf = montage::buildMontageWorkflow(1.0);
 
   std::cout << sectionBanner(

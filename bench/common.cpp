@@ -10,7 +10,7 @@
 namespace mcsim::bench {
 namespace {
 
-const cloud::Pricing kAmazon = cloud::Pricing::amazon2008();
+const cloud::Pricing kAmazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
 std::string num(double v) {
   char buf[64];

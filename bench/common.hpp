@@ -11,6 +11,7 @@
 #include "mcsim/analysis/economics.hpp"
 #include "mcsim/analysis/experiments.hpp"
 #include "mcsim/analysis/report.hpp"
+#include "mcsim/cloud/provider.hpp"
 #include "mcsim/montage/factory.hpp"
 #include "mcsim/runner/jobs.hpp"
 #include "mcsim/runner/runner.hpp"

@@ -4,7 +4,7 @@
 
 int main(int argc, char** argv) {
   using namespace mcsim;
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
   const int jobs = bench::parseJobs(argc, argv);
   std::vector<analysis::CpuVsDmRow> rows;
   for (double deg : {1.0, 2.0, 4.0}) {

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   const std::vector<double> ccrs = {0.053, 0.1, 0.2, 0.4, 0.8,
                                     1.6,   3.2, 6.4, 12.8};
   const auto points = analysis::ccrSweep(
-      wf, cloud::Pricing::amazon2008(),
+      wf, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
       {.ccrTargets = ccrs, .processors = 8,
        .queue = &bench::sharedQueue(bench::parseJobs(argc, argv))});
   std::cout << sectionBanner(

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   // ... a total cost of 500 mosaics would be $4,625."
   const dag::Workflow wf = montage::buildMontageWorkflow(4.0);
   const auto points = analysis::provisioningSweep(
-      wf, cloud::Pricing::amazon2008(),
+      wf, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
       {.processorCounts = {1, 16, 128},
        .queue = &bench::sharedQueue(jobs)});
   std::cout << sectionBanner(

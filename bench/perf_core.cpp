@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   const std::string outPath = argText(argc, argv, "out", "BENCH_core.json");
 
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const cloud::Pricing pricing = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
   // -- 1. single-run: reference core vs optimized core ----------------------
   engine::EngineConfig single;

@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
       engine::simulateWorkflow(wf, cfg);
   cfg.observer = nullptr;
   const obs::RunReport report =
-      lineItems.build(wf, explained, cloud::Pricing::amazon2008(),
+      lineItems.build(wf, explained, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
                       cloud::CpuBillingMode::Provisioned);
   const analysis::Explanation e = analysis::explainRun(wf, explainStore,
                                                        report);

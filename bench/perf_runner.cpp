@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
       argText(argc, argv, "out", "BENCH_runner.json");
 
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const cloud::Pricing pricing = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
   analysis::ProvisioningSweepConfig config;
   const auto ladder = analysis::defaultProcessorLadder();

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
             << wf.fileCount() << " files, " << wf.levelCount() << " levels, "
             << formatBytes(wf.totalFileBytes()) << " of data\n";
 
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
   std::cout << sectionBanner("data-management mode comparison (paper §6 Q2a)");
   analysis::dataModeTable(
       analysis::dataModeComparison(wf, amazon, analysis::DataModeComparisonConfig{}))

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const double mtbf = argc > 2 ? std::atof(argv[2]) : 3600.0;
 
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const cloud::Pricing pricing = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
   // 1. The fault-free baseline.
   engine::EngineConfig cfg;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   if (argc > 3) goal.budget = Money(std::atof(argv[3]));
 
   const dag::Workflow wf = montage::buildMontageWorkflow(degrees);
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
   std::cout << "planning a " << degrees << "-degree mosaic ("
             << wf.taskCount() << " tasks)\n";

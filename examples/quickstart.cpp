@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   engine::printLevelSummary(std::cout, wf, result);
 
   // 4. Price it, both ways the paper bills CPU.
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
   const auto provisioned = engine::computeCost(
       result, amazon, cloud::CpuBillingMode::Provisioned);
   const auto usage =

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   params.horizonSeconds = args.numberOr("months", 1.0) * kSecondsPerMonth;
   params.seed = static_cast<std::uint64_t>(args.intOr("seed", 42));
 
-  const cloud::Pricing amazon = cloud::Pricing::amazon2008();
+  const cloud::Pricing amazon = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 
   // Per-request costs come straight from the simulator: one Regular-mode run
   // per mosaic size (usage billing, full parallelism).

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
 
   // 3. Cost attribution: who spent the money?
   const obs::RunReport report = reportBuilder.build(
-      wf, result, cloud::Pricing::amazon2008(),
+      wf, result, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
       cloud::CpuBillingMode::Usage);
 
   std::cout << "\ncost by level (usage billing, level 0 = staging):\n";
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
   std::cout << "\nreport total " << formatMoney(report.totals.total())
             << " (engine total "
             << formatMoney(engine::computeCost(result,
-                                               cloud::Pricing::amazon2008(),
+                                               cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
                                                cloud::CpuBillingMode::Usage)
                                .total())
             << ") -- identical by construction\n";
@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
 
   if (session) {
     const obs::RunReport persisted = session->finish(
-        wf, result, cloud::Pricing::amazon2008(),
+        wf, result, cloud::ProviderCatalog::builtin().pricing("amazon-2008"),
         cloud::CpuBillingMode::Usage);
     const std::string perfettoPath = telemetryDir + "/trace.perfetto.json";
     {

@@ -11,10 +11,30 @@ double billedSeconds(double actualSeconds, BillingGranularity granularity) {
   switch (granularity) {
     case BillingGranularity::PerSecond:
       return actualSeconds;
+    case BillingGranularity::PerMinute:
+      return std::ceil(actualSeconds / 60.0) * 60.0;
     case BillingGranularity::PerHour:
       return std::ceil(actualSeconds / kSecondsPerHour) * kSecondsPerHour;
   }
   throw std::logic_error("billedSeconds: unknown granularity");
+}
+
+const char* billingGranularityName(BillingGranularity granularity) {
+  switch (granularity) {
+    case BillingGranularity::PerSecond: return "per-second";
+    case BillingGranularity::PerMinute: return "per-minute";
+    case BillingGranularity::PerHour: return "per-hour";
+  }
+  throw std::logic_error("billingGranularityName: unknown granularity");
+}
+
+bool parseBillingGranularity(const std::string& name,
+                             BillingGranularity& out) {
+  if (name == "per-second") out = BillingGranularity::PerSecond;
+  else if (name == "per-minute") out = BillingGranularity::PerMinute;
+  else if (name == "per-hour") out = BillingGranularity::PerHour;
+  else return false;
+  return true;
 }
 
 }  // namespace mcsim::cloud

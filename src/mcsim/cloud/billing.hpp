@@ -22,12 +22,22 @@ enum class CpuBillingMode {
 
 enum class BillingGranularity {
   PerSecond,  ///< The paper's idealization.
+  PerMinute,  ///< GCP-style: each instance-minute started is charged.
   PerHour,    ///< Real 2008 EC2: each instance-hour started is charged.
 };
 
 /// Quantize a duration according to the granularity (per-hour rounds up to
-/// whole hours; zero stays zero).
+/// whole hours, per-minute to whole minutes; zero stays zero).
 double billedSeconds(double actualSeconds, BillingGranularity granularity);
+
+/// "per-second" / "per-minute" / "per-hour" — the provider-profile JSON
+/// vocabulary (cloud/provider.hpp).
+const char* billingGranularityName(BillingGranularity granularity);
+
+/// Inverse of billingGranularityName; nullptr-free: returns false and
+/// leaves `out` untouched on an unknown name.
+bool parseBillingGranularity(const std::string& name,
+                             BillingGranularity& out);
 
 /// Itemized cost of one workflow execution.
 struct CostBreakdown {

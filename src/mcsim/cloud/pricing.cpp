@@ -1,38 +1,24 @@
 #include "mcsim/cloud/pricing.hpp"
 
+#include "mcsim/cloud/provider.hpp"
+
 namespace mcsim::cloud {
 
+// The three historical statics are compat shims over the provider catalog
+// (cloud/provider.hpp).  Each returns the catalog profile's default-SKU
+// pricing view, which tests assert byte-identical to the pre-catalog
+// hand-written fee tables — existing sweep goldens are unchanged.
+
 Pricing Pricing::amazon2008() {
-  Pricing p;
-  p.providerName = "amazon-2008";
-  p.storagePerGBMonth = Money(0.15);
-  p.transferInPerGB = Money(0.10);
-  p.transferOutPerGB = Money(0.16);
-  p.cpuPerHour = Money(0.10);
-  return p;
+  return ProviderCatalog::builtin().pricing("amazon-2008");
 }
 
 Pricing Pricing::storageHeavyProvider() {
-  // Deliberately far past the crossover: at full parallelism files are
-  // resident for seconds, so regular-mode storage only overtakes remote-mode
-  // transfer once the storage/transfer price ratio is ~10^4 x Amazon's.
-  Pricing p;
-  p.providerName = "storage-heavy";
-  p.storagePerGBMonth = Money(75.00);
-  p.transferInPerGB = Money(0.001);
-  p.transferOutPerGB = Money(0.0016);
-  p.cpuPerHour = Money(0.10);
-  return p;
+  return ProviderCatalog::builtin().pricing("storage-heavy");
 }
 
 Pricing Pricing::computeDiscountProvider() {
-  Pricing p;
-  p.providerName = "compute-discount";
-  p.storagePerGBMonth = Money(0.30);
-  p.transferInPerGB = Money(0.12);
-  p.transferOutPerGB = Money(0.20);
-  p.cpuPerHour = Money(0.025);
-  return p;
+  return ProviderCatalog::builtin().pricing("compute-discount");
 }
 
 }  // namespace mcsim::cloud

@@ -64,6 +64,7 @@
 
 #include "mcsim/cloud/billing.hpp"
 #include "mcsim/cloud/pricing.hpp"
+#include "mcsim/cloud/provider.hpp"
 #include "mcsim/cloud/storage.hpp"
 
 #include "mcsim/faults/faults.hpp"

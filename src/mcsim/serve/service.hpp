@@ -23,6 +23,7 @@
 #include <string>
 
 #include "mcsim/cloud/pricing.hpp"
+#include "mcsim/cloud/provider.hpp"
 #include "mcsim/obs/metrics.hpp"
 #include "mcsim/obs/sink.hpp"
 #include "mcsim/runner/jobs.hpp"
@@ -43,7 +44,7 @@ struct ServiceOptions {
   runner::MemoCacheOptions cache{/*maxEntries=*/256,
                                  /*maxBytes=*/256u << 20};
   /// Pricing used for the cost block of every result.
-  cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  cloud::Pricing pricing = cloud::ProviderCatalog::builtin().pricing("amazon-2008");
 };
 
 class SimulationService {

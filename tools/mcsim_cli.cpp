@@ -37,6 +37,10 @@ commands:
   ccr       Fig-11 style CCR sweep
   reliability  cost vs. processor MTBF across the three data modes
   explain   critical-path cost attribution for one execution
+  providers list the provider catalog (fee schedules, SKUs, storage tiers)
+  optimize  cross-provider placement optimizer: sweep provider x instance
+            x storage class x data mode x data placement, rank by total
+            cost and mark the cost-makespan Pareto frontier
   dax       write the workflow as a DAX XML file
   survey    build a sky-survey campaign (many Montage tiles via the
             streaming builder) and simulate it as concurrent shards
@@ -78,6 +82,25 @@ common options:
                       (default: hardware concurrency)
   --log-level <l>     debug | info | warn | error | off     (default warn)
   --csv               machine-readable output where supported
+
+provider options (simulate / sweep / modes / ccr / reliability / survey
+price against one provider; optimize sweeps several):
+  --provider <name>   catalog entry to price against  (default amazon-2008)
+  --instance <sku>    instance type within the provider    (default first)
+  --storage-class <c> storage class within the provider    (default first)
+  --providers-dir <d> load the catalog from <d>/*.json instead of the
+                      built-in profiles (config/providers/ mirrors them)
+
+optimize options:
+  --providers <list>  comma list of catalog names     (default: everything)
+  --billing <b>       provisioned | usage                  (default usage)
+  --spot              also evaluate spot variants of spot-capable SKUs
+  --archive-hosting   also host inputs/outputs on provider storage tiers
+  --cross-scratch     also place intermediates off the compute provider
+  --sku-granularity   bill at each SKU's granularity instead of per-second
+  --requests-per-month <n>  amortize hosted-archive holding costs over n
+                      requests (0 = off)
+  --top <n>           ranked rows to print                  (default 15)
 
 survey options (survey takes no --workflow; tiles are generated):
   --tiles <n>            mosaic tiles in the campaign        (default 16)
@@ -172,6 +195,25 @@ void applyFaultFlags(engine::EngineConfig& cfg, const ArgParser& args) {
       static_cast<std::uint64_t>(args.numberOr("fault-seed", 1.0));
 }
 
+/// The provider catalog for this invocation: built-in unless
+/// --providers-dir points at a directory of profile JSON files.
+cloud::ProviderCatalog loadCatalog(const ArgParser& args) {
+  if (const auto dir = args.value("providers-dir")) {
+    auto loaded = cloud::loadProviderCatalog(*dir);
+    if (!loaded) throw std::runtime_error(loaded.error());
+    return std::move(loaded.value());
+  }
+  return cloud::ProviderCatalog::builtin();
+}
+
+/// --provider/--instance/--storage-class -> the normalized fee view the
+/// sweep-style commands consume.
+cloud::Pricing selectPricing(const ArgParser& args) {
+  return loadCatalog(args).pricing(args.valueOr("provider", "amazon-2008"),
+                                   args.valueOr("instance", ""),
+                                   args.valueOr("storage-class", ""));
+}
+
 int cmdInfo(const dag::Workflow& wf, const ArgParser&) {
   Table t({"property", "value"}, {Align::Left, Align::Left});
   t.addRow({"name", wf.name()});
@@ -248,7 +290,7 @@ int cmdSimulate(const dag::Workflow& wf, const ArgParser& args) {
     std::cout << "\n";
   }
 
-  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const cloud::Pricing pricing = selectPricing(args);
   const auto provisioned = engine::computeCost(
       result, pricing, cloud::CpuBillingMode::Provisioned);
   const auto usage =
@@ -316,7 +358,7 @@ int cmdExplain(const dag::Workflow& wf, const ArgParser& args) {
   const auto result = engine::simulateWorkflow(wf, cfg);
   const auto billing = parseBilling(args.valueOr("billing", "provisioned"));
   const obs::RunReport report =
-      lineItems.build(wf, result, cloud::Pricing::amazon2008(), billing);
+      lineItems.build(wf, result, selectPricing(args), billing);
   const analysis::Explanation e = analysis::explainRun(wf, store, report);
 
   if (const auto path = args.value("trace-out")) {
@@ -357,7 +399,7 @@ int cmdSweep(const dag::Workflow& wf, const ArgParser& args) {
       args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
   config.jobs = parseJobs(args);
   const auto points =
-      analysis::provisioningSweep(wf, cloud::Pricing::amazon2008(), config);
+      analysis::provisioningSweep(wf, selectPricing(args), config);
   analysis::provisioningTable(points).print(std::cout);
   return 0;
 }
@@ -369,7 +411,7 @@ int cmdModes(const dag::Workflow& wf, const ArgParser& args) {
   config.processorOverride = args.intOr("procs", 0);
   config.jobs = parseJobs(args);
   const auto rows =
-      analysis::dataModeComparison(wf, cloud::Pricing::amazon2008(), config);
+      analysis::dataModeComparison(wf, selectPricing(args), config);
   analysis::dataModeTable(rows).print(std::cout);
   return 0;
 }
@@ -382,7 +424,7 @@ int cmdCcr(const dag::Workflow& wf, const ArgParser& args) {
   config.processors = args.intOr("procs", 8);
   config.jobs = parseJobs(args);
   const auto points =
-      analysis::ccrSweep(wf, cloud::Pricing::amazon2008(), config);
+      analysis::ccrSweep(wf, selectPricing(args), config);
   analysis::ccrTable(points).print(std::cout);
   return 0;
 }
@@ -399,7 +441,7 @@ int cmdReliability(const dag::Workflow& wf, const ArgParser& args) {
       args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
   rc.jobs = parseJobs(args);
   const auto points =
-      analysis::reliabilitySweep(wf, cloud::Pricing::amazon2008(), rc);
+      analysis::reliabilitySweep(wf, selectPricing(args), rc);
   analysis::reliabilityTable(points).print(std::cout);
   return 0;
 }
@@ -476,7 +518,7 @@ int cmdSurvey(const ArgParser& args) {
                                     simStart)
           .count();
 
-  const cloud::Pricing pricing = cloud::Pricing::amazon2008();
+  const cloud::Pricing pricing = selectPricing(args);
   Money provisioned;
   Money usage;
   for (const runner::ScenarioResult& shard : campaign.shardResults) {
@@ -603,6 +645,96 @@ int cmdMetrics(const ArgParser& args) {
   return 0;
 }
 
+/// Fee-schedule rates need more precision than formatMoney's cents — the
+/// storage-heavy what-if charges $0.001/GB transfer.
+std::string rateCell(Money rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "$%.4g", rate.value());
+  return buf;
+}
+
+std::string numberCell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+/// `mcsim providers`: the catalog at a glance; --provider narrows to one
+/// profile's full SKU and storage-tier detail.
+int cmdProviders(const ArgParser& args) {
+  const cloud::ProviderCatalog catalog = loadCatalog(args);
+  if (const auto name = args.value("provider")) {
+    const cloud::ProviderProfile& p = catalog.at(*name);
+    std::cout << p.name << " — " << p.displayName << " (" << p.year << ")\n\n";
+    Table instances({"instance", "speed", "$/hour", "billing", "spot disc.",
+                     "interrupts/h"});
+    for (const cloud::InstanceType& sku : p.instanceTypes) {
+      instances.addRow(
+          {sku.name, numberCell(sku.speedFactor),
+           rateCell(sku.hourlyRate),
+           cloud::billingGranularityName(sku.granularity),
+           sku.spotCapable() ? numberCell(sku.spotDiscount) : "-",
+           sku.spotCapable() ? numberCell(sku.interruptionsPerHour)
+                             : "-"});
+    }
+    instances.print(std::cout);
+    std::cout << "\n";
+    Table tiers({"storage class", "$/GB-month", "retrieval $/GB"});
+    for (const cloud::StorageClass& cls : p.storageClasses)
+      tiers.addRow({cls.name, rateCell(cls.perGBMonth),
+                    rateCell(cls.retrievalPerGB)});
+    tiers.print(std::cout);
+    std::cout << "\ntransfer: in " << rateCell(p.transfer.inPerGB)
+              << "/GB, out " << rateCell(p.transfer.outPerGB) << "/GB\n";
+    return 0;
+  }
+  Table t({"name", "year", "instances", "storage classes", "in $/GB",
+           "out $/GB", "display name"});
+  for (const auto& [name, p] : catalog.profiles()) {
+    t.addRow({name, std::to_string(p.year),
+              std::to_string(p.instanceTypes.size()),
+              std::to_string(p.storageClasses.size()),
+              rateCell(p.transfer.inPerGB),
+              rateCell(p.transfer.outPerGB), p.displayName});
+  }
+  t.print(std::cout);
+  std::cout << "\n(use --provider <name> for SKU and storage-tier detail)\n";
+  return 0;
+}
+
+/// `mcsim optimize`: the cross-provider placement optimizer.
+int cmdOptimize(const dag::Workflow& wf, const ArgParser& args) {
+  const cloud::ProviderCatalog catalog = loadCatalog(args);
+  analysis::OptimizeConfig config;
+  if (const auto list = args.value("providers")) {
+    std::stringstream ss(*list);
+    std::string item;
+    while (std::getline(ss, item, ',')) config.providers.push_back(item);
+  }
+  config.processorOverride = args.intOr("procs", 0);
+  config.billing = parseBilling(args.valueOr("billing", "usage"));
+  config.skuGranularity = args.hasFlag("sku-granularity");
+  config.useSpot = args.hasFlag("spot");
+  config.sweepArchiveHosting = args.hasFlag("archive-hosting");
+  config.sweepCrossProviderScratch = args.hasFlag("cross-scratch");
+  config.requestsPerMonth = args.numberOr("requests-per-month", 0.0);
+  config.base.linkBandwidthBytesPerSec =
+      args.numberOr("bandwidth", 10.0) * 1e6 / 8.0;
+  config.jobs = parseJobs(args);
+
+  const analysis::OptimizeResult result =
+      analysis::optimizePlacement(wf, catalog, config);
+  const int top = args.intOr("top", 15);
+  if (top < 0) throw std::invalid_argument("--top must be >= 0");
+  std::cout << result.candidates << " candidates priced from "
+            << result.simulations << " simulations\n\n";
+  analysis::optimizeTable(result, static_cast<std::size_t>(top))
+      .print(std::cout);
+  std::cout << "\nrecommendation: "
+            << analysis::describeCandidate(result.best()) << "\n";
+  return 0;
+}
+
 int cmdDax(const dag::Workflow& wf, const ArgParser& args) {
   const auto out = args.value("out");
   if (!out) throw std::invalid_argument("dax: --out <path> required");
@@ -636,8 +768,10 @@ int main(int argc, char** argv) {
                     "tiles", "tile-degrees", "overlap", "runtime-jitter",
                     "release-interval", "survey-seed", "shards", "socket",
                     "job", "queue-depth", "cache-entries", "cache-bytes",
-                    "base-seed"},
-                   {"csv", "json", "profile", "events"});
+                    "base-seed", "provider", "providers", "providers-dir",
+                    "instance", "storage-class", "requests-per-month"},
+                   {"csv", "json", "profile", "events", "spot",
+                    "archive-hosting", "cross-scratch", "sku-granularity"});
     args.parse(argc - 2, argv + 2);
     if (const auto level = args.value("log-level"))
       setLogLevel(parseLogLevel(*level));
@@ -651,6 +785,8 @@ int main(int argc, char** argv) {
     if (command == "cancel") return cmdServeVerb("cancel", args);
     if (command == "shutdown") return cmdServeVerb("shutdown", args);
     if (command == "metrics") return cmdMetrics(args);
+    // providers inspects the catalog; no workflow involved.
+    if (command == "providers") return cmdProviders(args);
     const dag::Workflow wf =
         serve::loadWorkflowSpec(args.valueOr("workflow", "montage:1"));
 
@@ -661,6 +797,7 @@ int main(int argc, char** argv) {
     if (command == "ccr") return cmdCcr(wf, args);
     if (command == "reliability") return cmdReliability(wf, args);
     if (command == "explain") return cmdExplain(wf, args);
+    if (command == "optimize") return cmdOptimize(wf, args);
     if (command == "dax") return cmdDax(wf, args);
     std::cerr << "unknown command '" << command << "'\n" << kUsage;
     return 2;
