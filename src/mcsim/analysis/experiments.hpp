@@ -22,6 +22,10 @@
 #include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/engine.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::runner {
 class JobQueue;
 class ScenarioMemoCache;

@@ -161,6 +161,8 @@ OptimizeResult optimizePlacement(const dag::Workflow& wf,
   std::deque<dag::Workflow> scaled;  // stable addresses for the specs
   std::map<double, const dag::Workflow*> workflowBySpeed;
   for (double speed : speeds) {
+    // 1.0 is the exact "unscaled workflow" key set by the caller, never a
+    // computed factor.  mcsim-lint: allow(float-equality)
     if (speed == 1.0) {
       workflowBySpeed[speed] = &wf;
       continue;

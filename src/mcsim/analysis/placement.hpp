@@ -33,6 +33,10 @@
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/util/table.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::runner {
 class JobQueue;
 class ScenarioMemoCache;

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "mcsim/analysis/experiments.hpp"
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/engine.hpp"
 
 namespace mcsim::analysis {
 

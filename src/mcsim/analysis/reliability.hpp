@@ -22,6 +22,10 @@
 #include "mcsim/faults/faults.hpp"
 #include "mcsim/util/table.hpp"
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::runner {
 class JobQueue;
 class ScenarioMemoCache;

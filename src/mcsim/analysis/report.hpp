@@ -9,6 +9,7 @@
 
 #include "mcsim/analysis/economics.hpp"
 #include "mcsim/analysis/experiments.hpp"
+#include "mcsim/engine/metrics.hpp"
 #include "mcsim/util/table.hpp"
 
 namespace mcsim::analysis {

@@ -450,8 +450,10 @@ json::JsonValue providerToJson(const ProviderProfile& profile) {
     entry["speed_factor"] = sku.speedFactor;
     entry["hourly_rate"] = sku.hourlyRate.value();
     entry["billing"] = std::string(billingGranularityName(sku.granularity));
+    // Optional JSON keys are emitted only when set; 0.0 is the exact unset
+    // default, never a computed rate.  mcsim-lint: allow(float-equality)
     if (sku.spotDiscount != 0.0) entry["spot_discount"] = sku.spotDiscount;
-    if (sku.interruptionsPerHour != 0.0)
+    if (sku.interruptionsPerHour != 0.0)  // mcsim-lint: allow(float-equality)
       entry["interruptions_per_hour"] = sku.interruptionsPerHour;
     instances.push_back(json::JsonValue(std::move(entry)));
   }
@@ -462,7 +464,7 @@ json::JsonValue providerToJson(const ProviderProfile& profile) {
     json::JsonObject entry;
     entry["name"] = cls.name;
     entry["per_gb_month"] = cls.perGBMonth.value();
-    if (cls.retrievalPerGB.value() != 0.0)
+    if (cls.retrievalPerGB.value() != 0.0)  // mcsim-lint: allow(float-equality)
       entry["retrieval_per_gb"] = cls.retrievalPerGB.value();
     classes.push_back(json::JsonValue(std::move(entry)));
   }

@@ -81,6 +81,8 @@ std::vector<TaskId> criticalPathTasks(const Workflow& wf) {
     }
     // If no parent finishes exactly at our start (start forced to 0 as a
     // source, or float slack), stop at the chain's head.
+    // 0.0 is the exact unset-EST sentinel assigned at initialization, never
+    // a computed value.  mcsim-lint: allow(float-equality)
     if (pick == kNoTask || est[cursor] == 0.0) {
       if (!t.parents.empty() && pick != kNoTask && est[cursor] > 0.0)
         cursor = pick;

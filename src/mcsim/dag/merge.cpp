@@ -91,6 +91,8 @@ Workflow mergeWorkflowsStaggered(const std::vector<Workflow>& parts,
     if (releaseSeconds[i] < 0.0)
       throw std::invalid_argument(
           "mergeWorkflowsStaggered: negative release time");
+    // 0.0 is the exact "released at start" default, never a computed sum.
+    // mcsim-lint: allow(float-equality)
     if (releaseSeconds[i] == 0.0) continue;
     for (const Task& t : parts[i].tasks())
       if (t.parents.empty())

@@ -229,6 +229,8 @@ double Workflow::ccr(double bandwidthBytesPerSecond) const {
   if (!(bandwidthBytesPerSecond > 0.0))
     throw std::invalid_argument("Workflow::ccr: bandwidth must be positive");
   const double compute = totalRuntimeSeconds();
+  // Guards a division; only an exactly-zero total divides to infinity.
+  // mcsim-lint: allow(float-equality)
   if (compute == 0.0)
     throw std::logic_error("Workflow::ccr: zero total runtime");
   return (totalFileBytes().value() / bandwidthBytesPerSecond) / compute;

@@ -84,9 +84,12 @@ MontageParams montage4DegreeParams() {
 MontageParams paramsForDegrees(double degrees) {
   if (!(degrees > 0.0))
     throw std::invalid_argument("montage: degrees must be positive");
+  // Catalog lookup keyed on the exact user-supplied survey sizes; anything
+  // else falls through to interpolation below.
+  // mcsim-lint: allow(float-equality)
   if (degrees == 1.0) return montage1DegreeParams();
-  if (degrees == 2.0) return montage2DegreeParams();
-  if (degrees == 4.0) return montage4DegreeParams();
+  if (degrees == 2.0) return montage2DegreeParams();  // mcsim-lint: allow(float-equality)
+  if (degrees == 4.0) return montage4DegreeParams();  // mcsim-lint: allow(float-equality)
 
   MontageParams p;
   p.name = "montage-" + std::to_string(degrees) + "deg";

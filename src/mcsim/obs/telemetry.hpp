@@ -12,6 +12,10 @@
 #include <memory>
 #include <string>
 
+#include "mcsim/cloud/billing.hpp"
+#include "mcsim/cloud/pricing.hpp"
+#include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/metrics.hpp"
 #include "mcsim/obs/jsonl.hpp"
 #include "mcsim/obs/metrics.hpp"
 #include "mcsim/obs/report.hpp"

@@ -20,8 +20,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "mcsim/dag/workflow.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/runner/runner.hpp"
+
+namespace mcsim::obs {
+class Sink;
+}
 
 namespace mcsim::runner {
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "mcsim/dag/workflow.hpp"
+#include "mcsim/engine/engine.hpp"
 #include "mcsim/obs/selfprofile.hpp"
 #include "mcsim/obs/sink.hpp"
 #include "mcsim/runner/memo.hpp"
@@ -463,6 +464,9 @@ void JobQueue::workerLoop(int worker) {
       continue;
     }
     if (stopping_) break;
+    // The wait predicate is the whole scan above (runnable item, pending
+    // admission, finalizable job) — re-checked by looping; a spurious wakeup
+    // costs one extra scan.  mcsim-lint: allow(cv-wait-predicate)
     workCv_.wait(lock);
   }
 }

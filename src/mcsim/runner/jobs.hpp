@@ -47,6 +47,10 @@ namespace mcsim::dag {
 class Workflow;
 }
 
+namespace mcsim::obs {
+class Sink;
+}
+
 namespace mcsim::runner {
 
 class ScenarioMemoCache;

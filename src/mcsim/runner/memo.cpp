@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "mcsim/dag/workflow.hpp"
+#include "mcsim/faults/faults.hpp"
 #include "mcsim/util/contract.hpp"
 #include "mcsim/util/usage_curve.hpp"
 
@@ -31,7 +32,8 @@ class Fnv {
   void u64(std::uint64_t v) { bytes(&v, sizeof v); }
   void f64(double v) {
     // +0.0 and -0.0 compare equal but differ in bits; canonicalize so
-    // behaviorally identical configs share a key.
+    // behaviorally identical configs share a key.  The comparison is exact
+    // on purpose.  mcsim-lint: allow(float-equality)
     if (v == 0.0) v = 0.0;
     std::uint64_t bits;
     std::memcpy(&bits, &v, sizeof bits);

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "mcsim/serve/protocol.hpp"
+#include "mcsim/util/json.hpp"
 
 namespace mcsim::serve {
 namespace {

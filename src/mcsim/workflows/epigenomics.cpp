@@ -1,6 +1,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "mcsim/dag/workflow.hpp"
 #include "mcsim/workflows/gallery.hpp"
 
 namespace mcsim::workflows {

@@ -2,6 +2,7 @@
 #include <string>
 #include <vector>
 
+#include "mcsim/dag/workflow.hpp"
 #include "mcsim/workflows/gallery.hpp"
 
 namespace mcsim::workflows {

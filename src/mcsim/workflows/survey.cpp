@@ -32,6 +32,8 @@ std::uint64_t tileSeed(const SurveyConfig& config, std::uint64_t tile) {
 
 /// Deterministic per-tile CPU multiplier in [1-j, 1+j].
 double jitterFactor(const SurveyConfig& config, std::uint64_t tile) {
+  // 0.0 is the exact "jitter disabled" default, never a computed value.
+  // mcsim-lint: allow(float-equality)
   if (config.runtimeJitterFraction == 0.0) return 1.0;
   const double u =
       static_cast<double>(tileSeed(config, tile) >> 11) * 0x1.0p-53;

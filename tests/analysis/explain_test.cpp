@@ -12,7 +12,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "../common/json.hpp"
+#include "tests/common/json.hpp"
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"

@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/dag/algorithms.hpp"
 
 namespace mcsim::dag {

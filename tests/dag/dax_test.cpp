@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/dag/algorithms.hpp"
 
 namespace mcsim::dag {

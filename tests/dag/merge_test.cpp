@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/dag/algorithms.hpp"
 #include "mcsim/engine/engine.hpp"
 

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/montage/factory.hpp"
 
 namespace mcsim::dag {

@@ -5,7 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 
 namespace mcsim::dag {
 namespace {

@@ -2,7 +2,7 @@
 // over time (Question 2's operating scenario under load).
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/dag/dax.hpp"
 #include "mcsim/dag/merge.hpp"
 #include "mcsim/engine/engine.hpp"

@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 
 namespace mcsim::engine {
 namespace {

@@ -2,7 +2,7 @@
 // scheduler policies, degenerate workflows.
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/engine/engine.hpp"
 
 namespace mcsim::engine {

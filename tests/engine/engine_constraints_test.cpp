@@ -3,7 +3,7 @@
 // constrained resources) and §8 (reliability).
 #include <gtest/gtest.h>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"
 

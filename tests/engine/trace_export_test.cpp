@@ -7,8 +7,8 @@
 #include <sstream>
 #include <vector>
 
-#include "../common/fixtures.hpp"
-#include "../common/json.hpp"
+#include "tests/common/fixtures.hpp"
+#include "tests/common/json.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"
 

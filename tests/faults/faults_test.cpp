@@ -7,7 +7,7 @@
 
 #include <stdexcept>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/util/rng.hpp"
 

@@ -9,7 +9,7 @@
 #include <sstream>
 #include <string>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/dag/random_dag.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/faults/faults.hpp"

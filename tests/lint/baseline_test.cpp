@@ -1,0 +1,164 @@
+// Baseline codec and ratchet-workflow tests: adopt findings, partition a
+// later run into fresh / baselined / expired, and flag allow() comments that
+// double-cover a baselined line.
+#include "baseline.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using mcsim::lint::applyBaseline;
+using mcsim::lint::Baseline;
+using mcsim::lint::BaselineEntry;
+using mcsim::lint::baselineFromFindings;
+using mcsim::lint::baselineFromJson;
+using mcsim::lint::baselineToJson;
+using mcsim::lint::Diagnostic;
+using mcsim::lint::FileContent;
+using mcsim::lint::lintFiles;
+using mcsim::lint::Options;
+
+// -- codec -------------------------------------------------------------------
+
+TEST(BaselineCodec, RoundTripIsByteStable) {
+  Baseline b;
+  b.entries = {BaselineEntry{"bench/b.cpp", 12, "float-equality"},
+               BaselineEntry{"bench/a.cpp", 7, "float-equality"}};
+  const std::string once = baselineToJson(b);
+  const auto parsed = baselineFromJson(once);
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  EXPECT_EQ(baselineToJson(parsed.value()), once);
+  // Serialization canonicalizes: sorted, one entry per line.
+  ASSERT_EQ(parsed.value().entries.size(), 2u);
+  EXPECT_EQ(parsed.value().entries[0].file, "bench/a.cpp");
+  EXPECT_TRUE(parsed.value().contains("bench/b.cpp", 12, "float-equality"));
+  EXPECT_FALSE(parsed.value().contains("bench/b.cpp", 13, "float-equality"));
+}
+
+TEST(BaselineCodec, EmptyBaselineRoundTrips) {
+  const auto parsed = baselineFromJson(baselineToJson(Baseline{}));
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  EXPECT_TRUE(parsed.value().entries.empty());
+}
+
+TEST(BaselineCodec, RejectionsNameTheConstraint) {
+  const struct {
+    const char* doc;
+    const char* needle;
+  } kCases[] = {
+      {"[]", "object"},
+      {"{\"version\": 2, \"findings\": []}", "version"},
+      {"{\"version\": 1, \"bogus\": []}", "unknown key"},
+      {"{\"version\": 1, \"findings\": [{\"file\": \"a\", \"line\": 0,"
+       " \"rule\": \"r\"}]}",
+       "positive integer"},
+      {"{\"version\": 1, \"findings\": [{\"file\": \"a\", \"line\": 1.5,"
+       " \"rule\": \"r\"}]}",
+       "positive integer"},
+      {"{\"version\": 1, \"findings\": [{\"file\": \"a\", \"line\": 1}]}",
+       "needs"},
+      {"{\"version\": 1, \"findings\": [{\"file\": \"a\", \"line\": 1,"
+       " \"rule\": \"r\", \"why\": \"x\"}]}",
+       "unknown finding key"},
+  };
+  for (const auto& c : kCases) {
+    const auto parsed = baselineFromJson(c.doc);
+    ASSERT_FALSE(parsed.hasValue()) << c.doc;
+    EXPECT_NE(parsed.error().find(c.needle), std::string::npos)
+        << c.doc << " -> " << parsed.error();
+  }
+}
+
+// -- adopt / expire round trip -----------------------------------------------
+
+TEST(BaselineRatchet, AdoptThenPartition) {
+  const std::vector<Diagnostic> day0 = {
+      {"bench/a.cpp", 7, "float-equality", "exact =="},
+      {"bench/b.cpp", 12, "float-equality", "exact !="},
+  };
+  const Baseline adopted = baselineFromFindings(day0);
+  ASSERT_EQ(adopted.entries.size(), 2u);
+
+  // Same findings later: everything baselined, nothing fresh or expired.
+  auto same = applyBaseline(day0, adopted);
+  EXPECT_TRUE(same.fresh.empty());
+  EXPECT_EQ(same.baselined.size(), 2u);
+  EXPECT_TRUE(same.expired.empty());
+
+  // One finding fixed, one new one introduced: the fix expires its entry
+  // (candidate for deletion), the new finding is fresh (blocking).
+  const std::vector<Diagnostic> day1 = {
+      {"bench/a.cpp", 7, "float-equality", "exact =="},
+      {"src/mcsim/x.cpp", 3, "no-rand", "rand()"},
+  };
+  auto drifted = applyBaseline(day1, adopted);
+  ASSERT_EQ(drifted.fresh.size(), 1u);
+  EXPECT_EQ(drifted.fresh[0].rule, "no-rand");
+  ASSERT_EQ(drifted.baselined.size(), 1u);
+  EXPECT_EQ(drifted.baselined[0].file, "bench/a.cpp");
+  ASSERT_EQ(drifted.expired.size(), 1u);
+  EXPECT_EQ(drifted.expired[0].file, "bench/b.cpp");
+
+  // Regenerating from the day-1 run shrinks the file to the surviving entry
+  // plus the (now adopted) new finding — the shrinks-only CI check sees the
+  // line count, so the canonical one-entry-per-line form matters.
+  const Baseline regenerated = baselineFromFindings(day1);
+  EXPECT_EQ(regenerated.entries.size(), 2u);
+  EXPECT_FALSE(regenerated.contains("bench/b.cpp", 12, "float-equality"));
+}
+
+TEST(BaselineRatchet, LineShiftSurfacesBothSides) {
+  // An edit above a baselined line shifts the finding: exact (file, line,
+  // rule) matching makes it fresh AND expires the stale entry, forcing the
+  // author to regenerate rather than silently drift.
+  Baseline b;
+  b.entries = {BaselineEntry{"bench/a.cpp", 7, "float-equality"}};
+  auto part = applyBaseline(
+      {{"bench/a.cpp", 9, "float-equality", "exact =="}}, b);
+  EXPECT_EQ(part.fresh.size(), 1u);
+  EXPECT_TRUE(part.baselined.empty());
+  EXPECT_EQ(part.expired.size(), 1u);
+}
+
+// -- suppressions vs baseline ------------------------------------------------
+
+TEST(BaselineSuppressions, AllowOnBaselinedLineIsRedundant) {
+  Baseline b;
+  b.entries = {BaselineEntry{"src/mcsim/x.cpp", 1, "float-equality"}};
+  Options options;
+  options.baseline = &b;
+  options.checkSuppressionsAgainstBaseline = true;
+  const auto diags = lintFiles(
+      {FileContent{"src/mcsim/x.cpp",
+                   "bool z(double x) { return x == 1.0; }  "
+                   "// mcsim-lint: allow(float-equality)\n"}},
+      options);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "redundant-suppression");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(BaselineSuppressions, AllowOffBaselineStaysSilent) {
+  // Default mode (flag off) and non-baselined lines must not flag: the
+  // check exists to stop double-tracking, not to discourage allow().
+  Baseline b;
+  b.entries = {BaselineEntry{"src/mcsim/x.cpp", 99, "float-equality"}};
+  const std::string text =
+      "bool z(double x) { return x == 1.0; }  "
+      "// mcsim-lint: allow(float-equality)\n";
+  Options flagOff;
+  flagOff.baseline = &b;
+  EXPECT_TRUE(lintFiles({FileContent{"src/mcsim/x.cpp", text}},
+                        flagOff).empty());
+  Options flagOn = flagOff;
+  flagOn.checkSuppressionsAgainstBaseline = true;
+  EXPECT_TRUE(lintFiles({FileContent{"src/mcsim/x.cpp", text}},
+                        flagOn).empty());
+}
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Seeded concurrency violations: raw lock()/unlock() outside a RAII guard,
+// plus a pairwise acquisition-order inversion between stateMu and queueMu.
+#include <mutex>
+
+namespace lintfix::conc {
+
+std::mutex gate_;
+std::mutex stateMu;
+std::mutex queueMu;
+
+void raw() {
+  gate_.lock();
+  gate_.unlock();
+}
+
+void forward() {
+  std::lock_guard<std::mutex> a(stateMu);
+  std::lock_guard<std::mutex> b(queueMu);
+}
+
+void backward() {
+  std::lock_guard<std::mutex> b(queueMu);
+  std::lock_guard<std::mutex> a(stateMu);
+}
+
+void bothAtOnce() {
+  // scoped_lock acquires atomically; its internal pair must not count as
+  // an ordering edge in either direction (and must not hide the seeded
+  // stateMu/queueMu inversion above, so it takes a different pair).
+  std::scoped_lock both(gate_, stateMu);
+}
+
+}  // namespace lintfix::conc

@@ -1,0 +1,24 @@
+// Seeded concurrency violations: detach() orphans the thread, and a
+// condition-variable wait without a predicate misses spurious wakeups.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace lintfix::conc {
+
+std::mutex mu;
+std::condition_variable cv;
+bool ready = false;
+
+void waiter() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock);
+  cv.wait(lock, [] { return ready; });
+}
+
+void spawn() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace lintfix::conc

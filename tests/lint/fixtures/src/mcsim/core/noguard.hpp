@@ -1,0 +1,9 @@
+// Seeded pragma-once violation: this header deliberately has no include
+// guard of any kind.
+namespace lintfix::core {
+
+struct Bare {
+  int id = 0;
+};
+
+}  // namespace lintfix::core

@@ -1,0 +1,10 @@
+// Seeded layering violation: core sits below engine in the fixture DAG
+// (tools/lint/layers.json declares core with no deps), so this upward
+// include must be reported as layer-order.
+#include "mcsim/engine/trace_hot.hpp"
+
+namespace lintfix::core {
+
+int fromAbove() { return 1; }
+
+}  // namespace lintfix::core

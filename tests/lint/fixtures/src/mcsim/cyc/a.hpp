@@ -1,0 +1,13 @@
+// Seeded include cycle: a.hpp and b.hpp include each other.  The cycle is
+// reported once, anchored at the lexically smallest member (this file).
+#pragma once
+
+#include "mcsim/cyc/b.hpp"
+
+namespace lintfix::cyc {
+
+struct A {
+  int b = 0;
+};
+
+}  // namespace lintfix::cyc

@@ -1,0 +1,12 @@
+// Second half of the seeded include cycle (see a.hpp).
+#pragma once
+
+#include "mcsim/cyc/a.hpp"
+
+namespace lintfix::cyc {
+
+struct B {
+  int a = 0;
+};
+
+}  // namespace lintfix::cyc

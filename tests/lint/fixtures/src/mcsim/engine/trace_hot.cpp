@@ -1,7 +1,10 @@
 // Seeded trace-macro violations: raw span/phase emission on the engine hot
 // path must go through the MCSIM_TRACE_* macros, plus one macro-wrapped call
 // and one justified (suppressed) direct emission.  Fixtures are linted, not
-// compiled, so the referenced types stay undeclared.
+// compiled, so the referenced types stay undeclared.  The obs include keeps
+// the IWYU pass satisfied; uses_obs.cpp seeds the missing-include case.
+#include "mcsim/obs/sinkdecl.hpp"
+
 namespace lintfix::engine {
 
 void hotLoop(obs::TraceStore& store, obs::PhaseProfiler& profiler) {

@@ -1,0 +1,8 @@
+// Seeded IWYU violation: uses mcsim::obs:: symbols without directly
+// including any mcsim/obs/ header (in the real tree the symbol would be
+// satisfied transitively; here nothing is included at all).
+namespace mcsim::engine {
+
+int drain(obs::Sink* sink) { return sink != nullptr; }
+
+}  // namespace mcsim::engine

@@ -1,0 +1,16 @@
+// Seeded float-determinism violation: a floating-point sum accumulated in
+// hash order gives run-to-run different rounding.
+#include <string>
+#include <unordered_map>
+
+namespace lintfix::fp {
+
+std::unordered_map<std::string, double> weights;
+
+double total() {
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) sum += w;
+  return sum;
+}
+
+}  // namespace lintfix::fp

@@ -1,0 +1,11 @@
+// Seeded float-determinism violations: exact equality against a
+// floating-point literal.  Integer comparisons must not trigger.
+namespace lintfix::fp {
+
+bool isUnit(double x) { return x == 1.0; }
+
+bool nonzero(double x) { return x != 0.0; }
+
+bool intsAreFine(int n) { return n == 1; }
+
+}  // namespace lintfix::fp

@@ -1,0 +1,10 @@
+// Ownership anchor for the IWYU-lite fixture: the obs module claims the
+// mcsim::obs namespace, so engine/uses_obs.cpp's qualified use without a
+// direct include is a missing-include finding.
+#pragma once
+
+namespace mcsim::obs {
+
+class Sink;
+
+}  // namespace mcsim::obs

@@ -1,0 +1,7 @@
+// Seeded layer-config violation: the "rogue" module directory is not
+// declared in the fixture tools/lint/layers.json.
+namespace lintfix::rogue {
+
+int stray() { return 0; }
+
+}  // namespace lintfix::rogue

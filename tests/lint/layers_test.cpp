@@ -1,0 +1,160 @@
+// layers.json codec tests plus the pin that keeps the committed DAG honest:
+// the declared module dependencies must equal, exactly, the include edges
+// present in src/ — an edge that stops being used must be deleted from
+// layers.json, a new edge must be declared there (or the include fixed).
+#include "layers.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using mcsim::lint::FileContent;
+using mcsim::lint::LayerGraph;
+using mcsim::lint::LayerModule;
+using mcsim::lint::layersCycle;
+using mcsim::lint::layersFromJson;
+using mcsim::lint::layersToJson;
+using mcsim::lint::moduleEdges;
+
+LayerGraph smallGraph() {
+  LayerGraph g;
+  g.modules = {LayerModule{"base", {}},
+               LayerModule{"mid", {"base"}},
+               LayerModule{"top", {"base", "mid"}}};
+  g.files["src/mcsim/special.hpp"] = "top";
+  return g;
+}
+
+// -- codec -------------------------------------------------------------------
+
+TEST(LayersCodec, RoundTripIsByteStable) {
+  const std::string once = layersToJson(smallGraph());
+  const auto parsed = layersFromJson(once);
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  EXPECT_EQ(layersToJson(parsed.value()), once);
+}
+
+TEST(LayersCodec, ParsePreservesStructure) {
+  const auto parsed = layersFromJson(layersToJson(smallGraph()));
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  const LayerGraph& g = parsed.value();
+  ASSERT_EQ(g.modules.size(), 3u);
+  ASSERT_NE(g.find("top"), nullptr);
+  EXPECT_EQ(g.find("top")->deps, (std::vector<std::string>{"base", "mid"}));
+  EXPECT_EQ(g.moduleOf("src/mcsim/special.hpp"), "top");
+  EXPECT_EQ(g.moduleOf("src/mcsim/mid/x.hpp"), "mid");
+  EXPECT_EQ(g.moduleOf("tools/lint/lint.cpp"), "");
+}
+
+TEST(LayersCodec, RejectionsNameTheConstraint) {
+  const struct {
+    const char* doc;
+    const char* needle;
+  } kCases[] = {
+      {"[]", "object"},
+      {"{\"version\": 2, \"modules\": [{\"name\": \"a\", \"deps\": []}]}",
+       "version"},
+      {"{\"version\": 1}", "must not be empty"},
+      {"{\"version\": 1, \"modules\": [{\"name\": \"a\", \"deps\": []}],"
+       " \"bogus\": 1}",
+       "unknown key"},
+      {"{\"version\": 1, \"modules\": [{\"name\": \"a\", \"deps\": []},"
+       " {\"name\": \"a\", \"deps\": []}]}",
+       "duplicate"},
+      {"{\"version\": 1, \"modules\": [{\"name\": \"a\", \"deps\": [\"a\"]}]}",
+       "itself"},
+      {"{\"version\": 1, \"modules\": [{\"name\": \"a\", \"deps\": [\"b\"]}]}",
+       "undeclared"},
+      {"{\"version\": 1, \"modules\": [{\"name\": \"a\", \"deps\": []}],"
+       " \"files\": {\"src/mcsim/x.hpp\": \"nope\"}}",
+       "undeclared"},
+  };
+  for (const auto& c : kCases) {
+    const auto parsed = layersFromJson(c.doc);
+    ASSERT_FALSE(parsed.hasValue()) << c.doc;
+    EXPECT_NE(parsed.error().find(c.needle), std::string::npos)
+        << c.doc << " -> " << parsed.error();
+  }
+}
+
+TEST(LayersCycle, AcyclicGraphReportsNothing) {
+  EXPECT_EQ(layersCycle(smallGraph()), "");
+}
+
+TEST(LayersCycle, CycleIsRendered) {
+  LayerGraph g;
+  g.modules = {LayerModule{"a", {"b"}}, LayerModule{"b", {"a"}}};
+  // The codec refuses nothing here — cycles are a graph property, checked
+  // separately so the linter can report them as layer-config findings.
+  EXPECT_EQ(layersCycle(g), "a -> b -> a");
+}
+
+// -- the committed DAG vs the actual include graph ---------------------------
+
+std::vector<FileContent> loadSrcTree(const fs::path& root) {
+  std::vector<FileContent> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    const std::string name = entry.path().filename().string();
+    if (ext != ".hpp" && ext != ".cpp" &&
+        name.find(".hpp.in") == std::string::npos)
+      continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files.push_back(FileContent{
+        fs::relative(entry.path(), root).generic_string(), text.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileContent& a, const FileContent& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+TEST(LayersPinned, CommittedGraphMatchesActualIncludeGraph) {
+  const fs::path root = MCSIM_LINT_REPO_ROOT;
+  std::ifstream in(root / "tools" / "lint" / "layers.json");
+  ASSERT_TRUE(in.good()) << "missing tools/lint/layers.json";
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = layersFromJson(text.str());
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  const LayerGraph& graph = parsed.value();
+  EXPECT_EQ(layersCycle(graph), "");
+
+  const auto edges = moduleEdges(loadSrcTree(root), graph);
+
+  // Every actual edge must be declared...
+  std::set<std::pair<std::string, std::string>> declared;
+  for (const LayerModule& m : graph.modules)
+    for (const std::string& dep : m.deps) declared.emplace(m.name, dep);
+  for (const auto& [from, to] : edges)
+    EXPECT_TRUE(declared.count({from, to}))
+        << "undeclared include edge " << from << " -> " << to
+        << "; declare it in tools/lint/layers.json or fix the include";
+
+  // ... and every declared edge must exist (no stale permissions).
+  const std::set<std::pair<std::string, std::string>> actual(edges.begin(),
+                                                             edges.end());
+  for (const auto& e : declared)
+    EXPECT_TRUE(actual.count(e))
+        << "declared dependency " << e.first << " -> " << e.second
+        << " matches no include; delete it from tools/lint/layers.json";
+}
+
+}  // namespace

@@ -31,23 +31,38 @@ struct Expected {
 // One entry per seeded violation in tests/lint/fixtures/.  Sorted the way
 // the linter sorts (file, then line) so a mismatch diffs cleanly.
 constexpr Expected kExpectedFixtureFindings[] = {
+    {"src/mcsim/conc/locks.cpp", 12, "raw-mutex-lock"},
+    {"src/mcsim/conc/locks.cpp", 13, "raw-mutex-lock"},
+    {"src/mcsim/conc/locks.cpp", 23, "lock-order"},
+    {"src/mcsim/conc/threads.cpp", 15, "cv-wait-predicate"},
+    {"src/mcsim/conc/threads.cpp", 21, "thread-detach"},
     {"src/mcsim/core/containers.cpp", 11, "ptr-key"},
+    {"src/mcsim/core/containers.cpp", 15, "unordered-float-accum"},
     {"src/mcsim/core/containers.cpp", 15, "unordered-iter"},
     {"src/mcsim/core/hygiene.cpp", 3, "include-hygiene"},
     {"src/mcsim/core/hygiene.cpp", 5, "deprecated-compat"},
+    {"src/mcsim/core/noguard.hpp", 1, "pragma-once"},
     {"src/mcsim/core/nondet.cpp", 9, "no-rand"},
     {"src/mcsim/core/nondet.cpp", 13, "no-wallclock"},
     {"src/mcsim/core/nondet.cpp", 17, "no-wallclock"},
     {"src/mcsim/core/nondet.cpp", 18, "no-wallclock"},
     {"src/mcsim/core/stale.cpp", 5, "unused-suppression"},
     {"src/mcsim/core/stale.cpp", 8, "unused-suppression"},
-    {"src/mcsim/engine/trace_hot.cpp", 8, "trace-macro"},
-    {"src/mcsim/engine/trace_hot.cpp", 9, "trace-macro"},
-    {"src/mcsim/engine/trace_hot.cpp", 10, "trace-macro"},
+    {"src/mcsim/core/upward.cpp", 4, "layer-order"},
+    {"src/mcsim/cyc/a.hpp", 5, "include-cycle"},
     {"src/mcsim/engine/trace_hot.cpp", 11, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 12, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 13, "trace-macro"},
+    {"src/mcsim/engine/trace_hot.cpp", 14, "trace-macro"},
+    {"src/mcsim/engine/uses_obs.cpp", 6, "missing-include"},
+    {"src/mcsim/fp/accum.cpp", 12, "unordered-float-accum"},
+    {"src/mcsim/fp/accum.cpp", 12, "unordered-iter"},
+    {"src/mcsim/fp/compare.cpp", 5, "float-equality"},
+    {"src/mcsim/fp/compare.cpp", 7, "float-equality"},
     {"src/mcsim/obs/event.hpp", 20, "event-taxonomy"},
     {"src/mcsim/obs/jsonl.cpp", 6, "event-taxonomy"},
     {"src/mcsim/obs/sink.cpp", 6, "event-taxonomy"},
+    {"src/mcsim/rogue/stray.cpp", 1, "layer-config"},
     {"src/mcsim/sim/hot_path.cpp", 9, "sim-std-function"},
     {"src/mcsim/sim/hot_path.cpp", 12, "sim-heap-alloc"},
     {"src/mcsim/sim/hot_path.cpp", 13, "sim-heap-alloc"},

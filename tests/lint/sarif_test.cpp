@@ -1,0 +1,152 @@
+// SARIF 2.1.0 and GitHub-annotation renderer tests.  The SARIF document is
+// validated structurally against the 2.1.0 schema shape (required members,
+// member types, rule-index consistency) by parsing it with util/json — the
+// same parser CI-side consumers get, so "it parses and has the members" is
+// the contract being pinned.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mcsim/util/json.hpp"
+
+namespace {
+
+using mcsim::json::JsonValue;
+using mcsim::json::parseJson;
+using mcsim::lint::Diagnostic;
+using mcsim::lint::ruleCatalog;
+using mcsim::lint::toGithubAnnotations;
+using mcsim::lint::toSarif;
+
+const std::vector<Diagnostic> kFresh = {
+    {"src/mcsim/x.cpp", 3, "no-rand", "rand() is nondeterministic"},
+    {"src/mcsim/y.cpp", 9, "float-equality", "exact == against `1.0`"},
+};
+const std::vector<Diagnostic> kBaselined = {
+    {"bench/a.cpp", 7, "float-equality", "exact != against `0.0`"},
+};
+
+TEST(Sarif, ValidatesAgainst210SchemaStructure) {
+  const JsonValue doc = parseJson(toSarif(kFresh, kBaselined));
+  ASSERT_TRUE(doc.isObject());
+
+  // Top level: $schema (the 2.1.0 schema URI), version, runs.
+  ASSERT_TRUE(doc.has("$schema"));
+  EXPECT_NE(doc.asObject().at("$schema").asString().find("sarif-schema-2.1.0"),
+            std::string::npos);
+  ASSERT_TRUE(doc.has("version"));
+  EXPECT_EQ(doc.asObject().at("version").asString(), "2.1.0");
+  ASSERT_TRUE(doc.has("runs"));
+  ASSERT_TRUE(doc.asObject().at("runs").isArray());
+  ASSERT_EQ(doc.asObject().at("runs").asArray().size(), 1u);
+
+  // runs[0].tool.driver: name plus the full rule catalog.
+  const JsonValue& run = doc.asObject().at("runs").asArray()[0];
+  ASSERT_TRUE(run.isObject());
+  const JsonValue& driver =
+      run.asObject().at("tool").asObject().at("driver");
+  EXPECT_EQ(driver.asObject().at("name").asString(), "mcsim-lint");
+  const auto& rules = driver.asObject().at("rules").asArray();
+  ASSERT_EQ(rules.size(), ruleCatalog().size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].asObject().at("id").asString(), ruleCatalog()[i].id);
+    EXPECT_FALSE(rules[i]
+                     .asObject()
+                     .at("shortDescription")
+                     .asObject()
+                     .at("text")
+                     .asString()
+                     .empty());
+  }
+
+  // results: one per finding, ruleIndex consistent with the rules array,
+  // locations carrying a SRCROOT-relative uri and a 1-based startLine.
+  const auto& results = run.asObject().at("results").asArray();
+  ASSERT_EQ(results.size(), kFresh.size() + kBaselined.size());
+  for (const JsonValue& r : results) {
+    const auto& obj = r.asObject();
+    const std::string& ruleId = obj.at("ruleId").asString();
+    const auto index = static_cast<std::size_t>(
+        obj.at("ruleIndex").asNumber());
+    ASSERT_LT(index, rules.size());
+    EXPECT_EQ(rules[index].asObject().at("id").asString(), ruleId);
+    EXPECT_FALSE(
+        obj.at("message").asObject().at("text").asString().empty());
+    const auto& locs = obj.at("locations").asArray();
+    ASSERT_EQ(locs.size(), 1u);
+    const auto& phys = locs[0].asObject().at("physicalLocation").asObject();
+    const auto& artifact = phys.at("artifactLocation").asObject();
+    EXPECT_FALSE(artifact.at("uri").asString().empty());
+    EXPECT_EQ(artifact.at("uriBaseId").asString(), "SRCROOT");
+    EXPECT_GE(phys.at("region").asObject().at("startLine").asNumber(), 1.0);
+  }
+}
+
+TEST(Sarif, BaselinedFindingsCarryExternalSuppression) {
+  const JsonValue doc = parseJson(toSarif(kFresh, kBaselined));
+  const auto& results = doc.asObject()
+                            .at("runs")
+                            .asArray()[0]
+                            .asObject()
+                            .at("results")
+                            .asArray();
+  std::size_t suppressed = 0;
+  for (const JsonValue& r : results) {
+    if (!r.asObject().count("suppressions")) continue;
+    const auto& sups = r.asObject().at("suppressions").asArray();
+    ASSERT_EQ(sups.size(), 1u);
+    EXPECT_EQ(sups[0].asObject().at("kind").asString(), "external");
+    ++suppressed;
+  }
+  EXPECT_EQ(suppressed, kBaselined.size());
+}
+
+TEST(Sarif, HostileMessageBytesStillParse) {
+  const std::vector<Diagnostic> nasty = {
+      {"src/a \"b\".cpp", 1, "no-rand", "line1\nline2\ttab \\ and \"quote\""}};
+  const JsonValue doc = parseJson(toSarif(nasty, {}));
+  const auto& result = doc.asObject()
+                           .at("runs")
+                           .asArray()[0]
+                           .asObject()
+                           .at("results")
+                           .asArray()[0];
+  EXPECT_EQ(result.asObject().at("message").asObject().at("text").asString(),
+            "line1\nline2\ttab \\ and \"quote\"");
+}
+
+TEST(Sarif, EmptyRunIsStillAValidDocument) {
+  const JsonValue doc = parseJson(toSarif({}, {}));
+  const auto& run = doc.asObject().at("runs").asArray()[0];
+  EXPECT_TRUE(run.asObject().at("results").asArray().empty());
+}
+
+// -- GitHub annotations ------------------------------------------------------
+
+TEST(GithubAnnotations, FreshIsErrorBaselinedIsNotice) {
+  const std::string out = toGithubAnnotations(kFresh, kBaselined);
+  EXPECT_NE(out.find("::error file=src/mcsim/x.cpp,line=3,"
+                     "title=mcsim-lint no-rand::"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("::notice file=bench/a.cpp,line=7,"
+                     "title=mcsim-lint float-equality (baselined)::"),
+            std::string::npos)
+      << out;
+}
+
+TEST(GithubAnnotations, MessageDataIsEscaped) {
+  // The workflow-command grammar terminates on newline and expands %xx, so
+  // %, CR and LF must be escaped in the data portion.
+  const std::string out = toGithubAnnotations(
+      {{"a.cpp", 1, "no-rand", "50% of\r\nruns differ"}}, {});
+  EXPECT_NE(out.find("50%25 of%0D%0Aruns differ"), std::string::npos) << out;
+  // Exactly one annotation line despite the embedded newline.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+}  // namespace

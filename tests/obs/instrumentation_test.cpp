@@ -5,7 +5,7 @@
 
 #include <map>
 
-#include "../common/fixtures.hpp"
+#include "tests/common/fixtures.hpp"
 #include "mcsim/cloud/storage.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/obs/sampler.hpp"

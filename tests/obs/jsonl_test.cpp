@@ -4,7 +4,7 @@
 
 #include <sstream>
 
-#include "../common/json.hpp"
+#include "tests/common/json.hpp"
 
 namespace mcsim::obs {
 namespace {

@@ -11,7 +11,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "../common/json.hpp"
+#include "tests/common/json.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/montage/factory.hpp"
 #include "mcsim/obs/telemetry.hpp"

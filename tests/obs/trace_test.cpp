@@ -11,7 +11,7 @@
 #include <sstream>
 #include <vector>
 
-#include "../common/json.hpp"
+#include "tests/common/json.hpp"
 #include "mcsim/analysis/explain.hpp"
 #include "mcsim/engine/engine.hpp"
 #include "mcsim/engine/trace_export.hpp"

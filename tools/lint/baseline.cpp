@@ -1,0 +1,150 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mcsim/util/json.hpp"
+
+namespace mcsim::lint {
+namespace {
+
+using json::JsonValue;
+
+Unexpected<std::string> fail(const std::string& what) {
+  return makeUnexpected("baseline.json: " + what);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool operator<(const BaselineEntry& a, const BaselineEntry& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
+}
+
+bool operator==(const BaselineEntry& a, const BaselineEntry& b) {
+  return a.file == b.file && a.line == b.line && a.rule == b.rule;
+}
+
+bool Baseline::contains(const std::string& file, int line,
+                        const std::string& rule) const {
+  const BaselineEntry probe{file, line, rule};
+  return std::binary_search(entries.begin(), entries.end(), probe);
+}
+
+Expected<Baseline> baselineFromJson(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = json::parseJson(text);
+  } catch (const std::exception& e) {
+    return fail(std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject()) return fail("top level must be an object");
+
+  Baseline baseline;
+  for (const auto& [key, value] : doc.asObject()) {
+    if (key == "version") {
+      // Exact format-version tag.  mcsim-lint: allow(float-equality)
+      if (!value.isNumber() || value.asNumber() != 1.0)
+        return fail("\"version\" must be the number 1");
+    } else if (key == "findings") {
+      if (!value.isArray()) return fail("\"findings\" must be an array");
+      for (const JsonValue& entry : value.asArray()) {
+        if (!entry.isObject()) return fail("each finding must be an object");
+        BaselineEntry e;
+        bool haveLine = false;
+        for (const auto& [fk, fv] : entry.asObject()) {
+          if (fk == "file") {
+            if (!fv.isString() || fv.asString().empty())
+              return fail("finding \"file\" must be a non-empty string");
+            e.file = fv.asString();
+          } else if (fk == "line") {
+            if (!fv.isNumber() || fv.asNumber() < 1 ||
+                fv.asNumber() != std::floor(fv.asNumber()))
+              return fail("finding \"line\" must be a positive integer");
+            e.line = static_cast<int>(fv.asNumber());
+            haveLine = true;
+          } else if (fk == "rule") {
+            if (!fv.isString() || fv.asString().empty())
+              return fail("finding \"rule\" must be a non-empty string");
+            e.rule = fv.asString();
+          } else {
+            return fail("unknown finding key \"" + fk + "\"");
+          }
+        }
+        if (e.file.empty() || e.rule.empty() || !haveLine)
+          return fail("each finding needs \"file\", \"line\" and \"rule\"");
+        baseline.entries.push_back(std::move(e));
+      }
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  std::sort(baseline.entries.begin(), baseline.entries.end());
+  baseline.entries.erase(
+      std::unique(baseline.entries.begin(), baseline.entries.end()),
+      baseline.entries.end());
+  return baseline;
+}
+
+std::string baselineToJson(const Baseline& baseline) {
+  Baseline canonical = baseline;
+  std::sort(canonical.entries.begin(), canonical.entries.end());
+  canonical.entries.erase(
+      std::unique(canonical.entries.begin(), canonical.entries.end()),
+      canonical.entries.end());
+
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  for (std::size_t i = 0; i < canonical.entries.size(); ++i) {
+    const BaselineEntry& e = canonical.entries[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"file\": \"" + escape(e.file) +
+           "\", \"line\": " + std::to_string(e.line) + ", \"rule\": \"" +
+           escape(e.rule) + "\"}";
+  }
+  out += canonical.entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Baseline baselineFromFindings(const std::vector<Diagnostic>& findings) {
+  Baseline baseline;
+  baseline.entries.reserve(findings.size());
+  for (const Diagnostic& d : findings)
+    baseline.entries.push_back(BaselineEntry{d.file, d.line, d.rule});
+  std::sort(baseline.entries.begin(), baseline.entries.end());
+  baseline.entries.erase(
+      std::unique(baseline.entries.begin(), baseline.entries.end()),
+      baseline.entries.end());
+  return baseline;
+}
+
+BaselinePartition applyBaseline(std::vector<Diagnostic> findings,
+                                const Baseline& baseline) {
+  BaselinePartition result;
+  std::set<BaselineEntry> matched;
+  for (Diagnostic& d : findings) {
+    const BaselineEntry probe{d.file, d.line, d.rule};
+    if (baseline.contains(d.file, d.line, d.rule)) {
+      matched.insert(probe);
+      result.baselined.push_back(std::move(d));
+    } else {
+      result.fresh.push_back(std::move(d));
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries)
+    if (matched.count(e) == 0) result.expired.push_back(e);
+  return result;
+}
+
+}  // namespace mcsim::lint

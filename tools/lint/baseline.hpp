@@ -1,0 +1,60 @@
+// The lint baseline (tools/lint/baseline.json): findings present at rule
+// adoption, tracked but not blocking.
+//
+// A new rule family can land strict without a flag-day cleanup: findings the
+// tree already had are written into the baseline (mcsim-lint
+// --write-baseline), CI fails only on findings *not* in the baseline, and a
+// separate shrinks-only check refuses PRs that grow the file.  Entries are
+// matched exactly on (file, line, rule); when surrounding edits shift a
+// baselined line the finding surfaces as fresh and the stale entry as
+// expired — regenerate with --write-baseline and let the shrink check
+// arbitrate.  Codec goes through util/json + Expected<> like layers.json.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "mcsim/util/expected.hpp"
+
+namespace mcsim::lint {
+
+struct BaselineEntry {
+  std::string file;
+  int line = 1;
+  std::string rule;
+};
+
+bool operator<(const BaselineEntry& a, const BaselineEntry& b);
+bool operator==(const BaselineEntry& a, const BaselineEntry& b);
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;  ///< Kept sorted and unique.
+
+  bool contains(const std::string& file, int line,
+                const std::string& rule) const;
+};
+
+/// Parse a baseline.json document; rejects unknown keys and malformed
+/// entries (every rejection names the offending key).
+Expected<Baseline> baselineFromJson(const std::string& text);
+
+/// Canonical serialization: sorted entries, one per line (diffable; the
+/// shrinks-only CI check counts lines that are entries).
+std::string baselineToJson(const Baseline& baseline);
+
+/// Adopt the given findings as the new baseline (sorted, deduplicated).
+Baseline baselineFromFindings(const std::vector<Diagnostic>& findings);
+
+/// Split findings into fresh (blocking), baselined (tracked), and expired
+/// baseline entries that matched nothing (candidates for deletion).
+struct BaselinePartition {
+  std::vector<Diagnostic> fresh;
+  std::vector<Diagnostic> baselined;
+  std::vector<BaselineEntry> expired;
+};
+
+BaselinePartition applyBaseline(std::vector<Diagnostic> findings,
+                                const Baseline& baseline);
+
+}  // namespace mcsim::lint

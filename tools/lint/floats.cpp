@@ -1,0 +1,136 @@
+// Float-determinism family: exact ==/!= comparison against a floating-point
+// literal.  The simulator's invariants (cost tables, makespan comparisons,
+// memo-cache hits) are all threatened by "it happened to be exactly 0.25";
+// outside tests/ an exact comparison needs a tolerance, an integer
+// representation, or a justified allow() stating why exactness is intended
+// (e.g. comparing against a sentinel the code itself assigned).
+//
+// The hash-ordered accumulation half of the family lives with the
+// unordered-iteration scanner in lint.cpp, which owns the declared-name
+// index it needs.
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parsed.hpp"
+
+namespace mcsim::lint::detail {
+namespace {
+
+/// True for tokens like 1.0, .5, 2., 1e9, 0x1p3 is NOT handled (hex floats
+/// are vanishingly rare here), 1.0f, 3F, 1'000.0 — i.e. the token parses as
+/// a floating-point literal.
+bool isFloatLiteral(std::string_view t) {
+  if (t.empty()) return false;
+  std::size_t end = t.size();
+  bool floatSuffix = false;
+  while (end > 0 && (t[end - 1] == 'f' || t[end - 1] == 'F' ||
+                     t[end - 1] == 'l' || t[end - 1] == 'L')) {
+    if (t[end - 1] == 'f' || t[end - 1] == 'F') floatSuffix = true;
+    --end;
+  }
+  const std::string_view core = t.substr(0, end);
+  if (core.empty()) return false;
+  if (core.size() > 1 && core[0] == '0' &&
+      (core[1] == 'x' || core[1] == 'X'))
+    return false;
+  bool digit = false, dot = false, exponent = false;
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    const char c = core[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c == '.') {
+      if (dot || exponent) return false;
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digit) {
+      if (exponent) return false;
+      exponent = true;
+      if (i + 1 < core.size() && (core[i + 1] == '+' || core[i + 1] == '-'))
+        ++i;
+    } else if (c == '\'') {
+      continue;  // digit separator
+    } else {
+      return false;
+    }
+  }
+  if (!digit) return false;
+  return dot || exponent || floatSuffix;
+}
+
+/// The token ending at the last non-space char before `i` (identifier
+/// chars, '.', digit separators, and an exponent sign).
+std::string tokenBefore(const std::string& b, std::size_t i) {
+  const std::size_t last = prevNonSpace(b, i);
+  if (last == std::string::npos) return "";
+  std::size_t s = last + 1;
+  while (s > 0) {
+    const char c = b[s - 1];
+    if (isIdentChar(c) || c == '.' || c == '\'') {
+      --s;
+    } else if ((c == '+' || c == '-') && s >= 2 &&
+               (b[s - 2] == 'e' || b[s - 2] == 'E')) {
+      --s;
+    } else {
+      break;
+    }
+  }
+  return b.substr(s, last + 1 - s);
+}
+
+/// The token starting at the first non-space char after `i` (skipping a
+/// unary sign).
+std::string tokenAfter(const std::string& b, std::size_t i) {
+  std::size_t s = nextNonSpace(b, i);
+  while (s < b.size() && (b[s] == '+' || b[s] == '-'))
+    s = nextNonSpace(b, s + 1);
+  std::size_t e = s;
+  while (e < b.size()) {
+    const char c = b[e];
+    if (isIdentChar(c) || c == '.' || c == '\'') {
+      ++e;
+    } else if ((c == '+' || c == '-') && e >= 1 &&
+               (b[e - 1] == 'e' || b[e - 1] == 'E') && e > s) {
+      ++e;
+    } else {
+      break;
+    }
+  }
+  return b.substr(s, e - s);
+}
+
+void scanFloatEquality(const ParsedFile& f, Diags& out) {
+  // tests/ pin exact values on purpose; fixtures under tests/ are separate
+  // trees whose paths the fixture loader rewrites to src/-style anyway.
+  if (pathUnder(f, "tests/")) return;
+  const std::string& b = f.blob;
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    const char c = b[i];
+    const bool eq = c == '=' && b[i + 1] == '=';
+    const bool ne = c == '!' && b[i + 1] == '=';
+    if (!eq && !ne) continue;
+    if (i + 2 < b.size() && b[i + 2] == '=') continue;  // ===, !== (n/a)
+    if (eq && i > 0 &&
+        (b[i - 1] == '=' || b[i - 1] == '!' || b[i - 1] == '<' ||
+         b[i - 1] == '>'))
+      continue;  // second char of ==, !=, <=, >=
+    if (onPreprocLine(f, i)) continue;
+
+    const std::string left = tokenBefore(b, i);
+    const std::string right = tokenAfter(b, i + 2);
+    if (left == "operator") continue;
+    if (!isFloatLiteral(left) && !isFloatLiteral(right)) continue;
+    diag(out, f, lineOf(f, i), kFloatEquality,
+         std::string("exact ") + (eq ? "==" : "!=") + " against "
+         "floating-point literal `" + (isFloatLiteral(left) ? left : right) +
+         "`; use a tolerance or justify exactness with an allow()");
+    ++i;  // skip the second operator char
+  }
+}
+
+}  // namespace
+
+void runFloatPasses(const std::vector<ParsedFile>& files, Diags& out) {
+  for (const ParsedFile& f : files) scanFloatEquality(f, out);
+}
+
+}  // namespace mcsim::lint::detail

@@ -1,0 +1,433 @@
+// Include-graph passes: #pragma once, include cycles, layering against the
+// checked-in DAG (tools/lint/layers.json), and the IWYU-lite check that a
+// file using another module's symbols includes that module directly.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "layers.hpp"
+#include "parsed.hpp"
+
+namespace mcsim::lint::detail {
+namespace {
+
+bool isHeader(const std::string& path) {
+  return endsWith(path, ".hpp") || endsWith(path, ".hpp.in");
+}
+
+/// Root-relative path an include directive resolves to inside the linted
+/// set, or "" when it points outside (system headers, generated files).
+std::string resolveInclude(const std::set<std::string>& known,
+                           const std::string& fromPath,
+                           const IncludeDirective& d) {
+  if (d.angled) return "";
+  // mcsim/-rooted includes live under src/.
+  if (known.count("src/" + d.path)) return "src/" + d.path;
+  // Quoted sibling include ("lint.hpp" next to lint.cpp).
+  const std::size_t slash = fromPath.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string sibling = fromPath.substr(0, slash + 1) + d.path;
+    if (known.count(sibling)) return sibling;
+  }
+  // Repo-root-relative (tests including "tests/common/...").
+  if (known.count(d.path)) return d.path;
+  return "";
+}
+
+void checkPragmaOnce(const std::vector<ParsedFile>& files, Diags& out) {
+  for (const ParsedFile& f : files) {
+    if (!isHeader(f.path)) continue;
+    bool found = false;
+    for (std::size_t li = 0; li < f.lines.size() && !found; ++li) {
+      const std::string& code = f.lines[li].code;
+      const std::size_t hash = code.find('#');
+      if (hash == std::string::npos ||
+          !trim(code.substr(0, hash)).empty())
+        continue;
+      const std::string rest = trim(code.substr(hash + 1));
+      if (startsWith(rest, "pragma") &&
+          trim(rest.substr(6)).rfind("once", 0) == 0)
+        found = true;
+    }
+    if (!found)
+      diag(out, f, 1, kPragmaOnce,
+           "header has no #pragma once; a double inclusion breaks the "
+           "one-definition rule");
+  }
+}
+
+// -- include cycles (Tarjan SCC over resolved header edges) ------------------
+
+struct CycleFinder {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index, low, sccOf;
+  std::vector<bool> onStack;
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int counter = 0;
+
+  explicit CycleFinder(const std::vector<std::vector<int>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        low(a.size(), 0),
+        sccOf(a.size(), -1),
+        onStack(a.size(), false) {}
+
+  void visit(int v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    onStack[v] = true;
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (index[w] < 0) {
+        visit(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (onStack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<int> scc;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        onStack[w] = false;
+        sccOf[w] = static_cast<int>(sccs.size());
+        scc.push_back(w);
+      } while (w != v);
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+void checkIncludeCycles(const std::vector<ParsedFile>& files,
+                        const std::set<std::string>& known,
+                        const std::map<std::string, int>& indexOf,
+                        Diags& out) {
+  std::vector<std::vector<int>> adj(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const IncludeDirective& d : files[i].includes) {
+      const std::string target = resolveInclude(known, files[i].path, d);
+      if (target.empty()) continue;
+      const auto it = indexOf.find(target);
+      if (it != indexOf.end() && it->second != static_cast<int>(i))
+        adj[i].push_back(it->second);
+    }
+  }
+
+  CycleFinder finder(adj);
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (finder.index[static_cast<int>(i)] < 0)
+      finder.visit(static_cast<int>(i));
+
+  for (std::vector<int>& scc : finder.sccs) {
+    if (scc.size() < 2) continue;
+    std::sort(scc.begin(), scc.end(), [&](int a, int b) {
+      return files[static_cast<std::size_t>(a)].path <
+             files[static_cast<std::size_t>(b)].path;
+    });
+    const std::set<int> members(scc.begin(), scc.end());
+
+    // Render one concrete path around the cycle, starting from the
+    // lexicographically smallest member (deterministic).
+    std::vector<int> path{scc.front()};
+    std::set<int> seen{scc.front()};
+    while (true) {
+      int next = -1;
+      for (int w : adj[static_cast<std::size_t>(path.back())]) {
+        if (members.count(w) == 0) continue;
+        if (w == scc.front() && path.size() > 1) {
+          next = w;
+          break;
+        }
+        if (seen.count(w) == 0 && (next < 0 ||
+                                   files[static_cast<std::size_t>(w)].path <
+                                       files[static_cast<std::size_t>(next)]
+                                           .path))
+          next = w;
+      }
+      if (next < 0 || next == scc.front()) break;
+      path.push_back(next);
+      seen.insert(next);
+    }
+    std::string rendered;
+    for (int v : path)
+      rendered += files[static_cast<std::size_t>(v)].path + " -> ";
+    rendered += files[static_cast<std::size_t>(scc.front())].path;
+
+    const ParsedFile& anchor = files[static_cast<std::size_t>(scc.front())];
+    int line = 1;
+    for (const IncludeDirective& d : anchor.includes) {
+      const std::string target = resolveInclude(known, anchor.path, d);
+      const auto it = indexOf.find(target);
+      if (it != indexOf.end() && members.count(it->second) != 0) {
+        line = d.line;
+        break;
+      }
+    }
+    diag(out, anchor, line, kIncludeCycle,
+         "include cycle spanning " + std::to_string(scc.size()) +
+             " files: " + rendered);
+  }
+}
+
+// -- layering ----------------------------------------------------------------
+
+void checkLayering(const std::vector<ParsedFile>& files,
+                   const LayerGraph& graph, Diags& out) {
+  const std::string cycle = layersCycle(graph);
+  if (!cycle.empty()) {
+    out.push_back(Diagnostic{
+        "tools/lint/layers.json", 1, kLayerConfig,
+        "declared module graph is cyclic (" + cycle +
+            "); the layering DAG must be acyclic to mean anything"});
+    return;
+  }
+
+  std::set<std::string> unmappedReported;
+  for (const ParsedFile& f : files) {
+    const std::string from = graph.moduleOf(f.path);
+    if (from.empty()) {
+      // tools/tests/bench/examples are exempt from layering, but a new
+      // src/mcsim/<dir>/ must be declared before it can be linted.
+      if (!LayerGraph::dirModuleOf(f.path).empty() &&
+          unmappedReported.insert(f.path).second)
+        diag(out, f, 1, kLayerConfig,
+             "file maps to module \"" + LayerGraph::dirModuleOf(f.path) +
+                 "\", which tools/lint/layers.json does not declare");
+      continue;
+    }
+    const LayerModule* mod = graph.find(from);
+    if (mod == nullptr) {
+      if (unmappedReported.insert(f.path).second)
+        diag(out, f, 1, kLayerConfig,
+             "file maps to module \"" + from +
+                 "\", which tools/lint/layers.json does not declare");
+      continue;
+    }
+    for (const IncludeDirective& d : f.includes) {
+      if (d.angled || !startsWith(d.path, "mcsim/")) continue;
+      const std::string target = "src/" + d.path;
+      const std::string to = graph.moduleOf(target);
+      if (to.empty() || to == from) continue;
+      if (std::binary_search(mod->deps.begin(), mod->deps.end(), to))
+        continue;
+      diag(out, f, d.line, kLayerOrder,
+           "module \"" + from + "\" does not declare a dependency on \"" +
+               to + "\" (include of " + d.path +
+               "); fix the include or extend tools/lint/layers.json");
+    }
+  }
+}
+
+// -- IWYU-lite ---------------------------------------------------------------
+
+/// Namespace → owning directory-module, by majority claimant of
+/// `namespace mcsim::X` declarations across the linted set.
+std::map<std::string, std::string> namespaceOwners(
+    const std::vector<ParsedFile>& files) {
+  // owners[ns][module] = #files in `module` declaring `namespace mcsim::ns`.
+  std::map<std::string, std::map<std::string, int>> claims;
+  for (const ParsedFile& f : files) {
+    const std::string mod = LayerGraph::dirModuleOf(f.path);
+    if (mod.empty()) continue;
+    const std::string& b = f.blob;
+    std::size_t pos = 0;
+    while ((pos = b.find("namespace", pos)) != std::string::npos) {
+      const std::size_t end = pos + 9;
+      if ((pos > 0 && isIdentChar(b[pos - 1])) ||
+          (end < b.size() && isIdentChar(b[end]))) {
+        pos = end;
+        continue;
+      }
+      std::size_t i = nextNonSpace(b, end);
+      if (b.compare(i, 5, "mcsim") == 0 && !isIdentChar(b[i + 5])) {
+        i = nextNonSpace(b, i + 5);
+        if (i + 1 < b.size() && b[i] == ':' && b[i + 1] == ':') {
+          i = nextNonSpace(b, i + 2);
+          std::size_t nb = i;
+          while (i < b.size() && isIdentChar(b[i])) ++i;
+          if (i > nb) ++claims[b.substr(nb, i - nb)][mod];
+        }
+      }
+      pos = end;
+    }
+  }
+  std::map<std::string, std::string> owners;
+  for (const auto& [ns, byModule] : claims) {
+    std::string best;
+    int bestCount = 0;
+    for (const auto& [mod, count] : byModule)
+      if (count > bestCount || (count == bestCount && mod < best)) {
+        best = mod;
+        bestCount = count;
+      }
+    // Only self-named claims or clear majorities own a namespace; a couple
+    // of forward declarations elsewhere must not steal ownership.
+    if (byModule.count(ns) != 0)
+      owners[ns] = ns;
+    else
+      owners[ns] = best;
+  }
+  return owners;
+}
+
+// Namespaces a file declares itself: `namespace mcsim::X` (definition or
+// forward declaration — either satisfies pointer/reference use without an
+// include).
+std::set<std::string> declaredNamespaces(const ParsedFile& f) {
+  std::set<std::string> declared;
+  const std::string& b = f.blob;
+  std::size_t pos = 0;
+  while ((pos = b.find("namespace", pos)) != std::string::npos) {
+    const std::size_t end = pos + 9;
+    if ((pos > 0 && isIdentChar(b[pos - 1])) ||
+        (end < b.size() && isIdentChar(b[end]))) {
+      pos = end;
+      continue;
+    }
+    std::size_t i = nextNonSpace(b, end);
+    if (b.compare(i, 5, "mcsim") == 0 && !isIdentChar(b[i + 5])) {
+      i = nextNonSpace(b, i + 5);
+      if (i + 1 < b.size() && b[i] == ':' && b[i + 1] == ':') {
+        i = nextNonSpace(b, i + 2);
+        std::size_t nb = i;
+        while (i < b.size() && isIdentChar(b[i])) ++i;
+        if (i > nb) declared.insert(b.substr(nb, i - nb));
+      }
+    }
+    pos = end;
+  }
+  return declared;
+}
+
+void checkMissingIncludes(const std::vector<ParsedFile>& files, Diags& out) {
+  const std::map<std::string, std::string> owners = namespaceOwners(files);
+  if (owners.empty()) return;
+
+  for (const ParsedFile& f : files) {
+    const std::string selfMod = LayerGraph::dirModuleOf(f.path);
+    if (selfMod.empty()) continue;  // IWYU is scoped to src/mcsim/ files.
+
+    // Modules satisfied by a direct include (or the umbrella, outside the
+    // library the umbrella is legal).
+    std::set<std::string> included{selfMod};
+    bool umbrella = false;
+    for (const IncludeDirective& d : f.includes) {
+      if (d.angled) continue;
+      if (d.path == "mcsim/mcsim.hpp") umbrella = true;
+      if (startsWith(d.path, "mcsim/")) {
+        const std::string dirMod = LayerGraph::dirModuleOf("src/" + d.path);
+        if (!dirMod.empty()) included.insert(dirMod);
+      }
+    }
+    std::set<std::string> declared = declaredNamespaces(f);
+
+    // A .cpp's companion header transitively supplies its includes and its
+    // forward declarations; treat both as satisfied for the .cpp too (the
+    // IWYU convention: the header fwd-declares, the .cpp just defines).
+    if (endsWith(f.path, ".cpp")) {
+      const std::string companion =
+          f.path.substr(0, f.path.size() - 4) + ".hpp";
+      for (const ParsedFile& other : files) {
+        if (other.path != companion) continue;
+        for (const IncludeDirective& d : other.includes) {
+          if (!d.angled && startsWith(d.path, "mcsim/")) {
+            const std::string dirMod =
+                LayerGraph::dirModuleOf("src/" + d.path);
+            if (!dirMod.empty()) included.insert(dirMod);
+          }
+        }
+        for (const std::string& ns : declaredNamespaces(other))
+          declared.insert(ns);
+        break;
+      }
+    }
+    if (umbrella) continue;
+
+    // First qualified use `X::` of a foreign namespace without a direct
+    // include of its owning module.  Keyed by module; the namespace is kept
+    // for the message (mcsim::json lives in util/).
+    std::map<std::string, std::pair<std::size_t, std::string>> firstUse;
+    const std::string& b = f.blob;
+    forEachIdentifier(b, [&](std::string_view name, std::size_t begin,
+                             std::size_t end) {
+      const auto owner = owners.find(std::string(name));
+      if (owner == owners.end()) return;
+      const std::size_t nxt = nextNonSpace(b, end);
+      if (nxt + 1 >= b.size() || b[nxt] != ':' || b[nxt + 1] != ':') return;
+      if (begin >= 2 && b[begin - 1] == ':' && b[begin - 2] == ':') {
+        // mcsim::X:: or foo::X:: — only mcsim-qualified names count.
+        std::size_t q = begin - 2;
+        std::size_t qe = q;
+        while (qe > 0 && isIdentChar(b[qe - 1])) --qe;
+        if (b.compare(qe, q - qe, "mcsim") != 0) return;
+      }
+      const std::string mod = owner->second;
+      if (mod == selfMod || included.count(mod) != 0 ||
+          declared.count(std::string(name)) != 0)
+        return;
+      if (firstUse.count(mod) == 0)
+        firstUse[mod] = {begin, std::string(name)};
+    });
+    for (const auto& [mod, use] : firstUse)
+      diag(out, f, lineOf(f, use.first), kMissingInclude,
+           "uses mcsim::" + use.second + ":: symbols without directly "
+           "including a mcsim/" + mod + "/ header (currently satisfied "
+           "only transitively)");
+  }
+}
+
+}  // namespace
+
+void runGraphPasses(const std::vector<ParsedFile>& files,
+                    const LayerGraph* layers, Diags& out) {
+  std::set<std::string> known;
+  std::map<std::string, int> indexOf;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    known.insert(files[i].path);
+    indexOf[files[i].path] = static_cast<int>(i);
+  }
+
+  checkPragmaOnce(files, out);
+  checkIncludeCycles(files, known, indexOf, out);
+  if (layers != nullptr) checkLayering(files, *layers, out);
+  checkMissingIncludes(files, out);
+}
+
+}  // namespace mcsim::lint::detail
+
+namespace mcsim::lint {
+
+std::vector<std::pair<std::string, std::string>> moduleEdges(
+    const std::vector<FileContent>& files, const LayerGraph& graph) {
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const FileContent& fc : files) {
+    const std::string from = graph.moduleOf(fc.path);
+    if (from.empty()) continue;
+    std::istringstream in(fc.text);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] != '#') continue;
+      const std::size_t quote = line.find('"', first);
+      if (quote == std::string::npos ||
+          line.find("include", first) == std::string::npos ||
+          line.find("include", first) > quote)
+        continue;
+      const std::size_t close = line.find('"', quote + 1);
+      if (close == std::string::npos) continue;
+      const std::string inc = line.substr(quote + 1, close - quote - 1);
+      if (inc.compare(0, 6, "mcsim/") != 0) continue;
+      const std::string to = graph.moduleOf("src/" + inc);
+      if (!to.empty() && to != from) edges.emplace(from, to);
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+}  // namespace mcsim::lint

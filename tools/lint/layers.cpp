@@ -1,0 +1,198 @@
+#include "layers.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mcsim/util/json.hpp"
+
+namespace mcsim::lint {
+namespace {
+
+using json::JsonObject;
+using json::JsonValue;
+
+Unexpected<std::string> fail(const std::string& what) {
+  return makeUnexpected("layers.json: " + what);
+}
+
+}  // namespace
+
+const LayerModule* LayerGraph::find(const std::string& name) const {
+  for (const LayerModule& m : modules)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::string LayerGraph::moduleOf(const std::string& path) const {
+  auto it = files.find(path);
+  if (it != files.end()) return it->second;
+  return dirModuleOf(path);
+}
+
+std::string LayerGraph::dirModuleOf(const std::string& path) {
+  constexpr const char* kPrefix = "src/mcsim/";
+  constexpr std::size_t kPrefixLen = 10;
+  if (path.compare(0, kPrefixLen, kPrefix) != 0) return "";
+  const std::size_t slash = path.find('/', kPrefixLen);
+  if (slash == std::string::npos) return "";  // src/mcsim/mcsim.hpp etc.
+  return path.substr(kPrefixLen, slash - kPrefixLen);
+}
+
+Expected<LayerGraph> layersFromJson(const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = json::parseJson(text);
+  } catch (const std::exception& e) {
+    return fail(std::string("parse error: ") + e.what());
+  }
+  if (!doc.isObject()) return fail("top level must be an object");
+
+  LayerGraph graph;
+  for (const auto& [key, value] : doc.asObject()) {
+    if (key == "version") {
+      // Exact format-version tag.  mcsim-lint: allow(float-equality)
+      if (!value.isNumber() || value.asNumber() != 1.0)
+        return fail("\"version\" must be the number 1");
+    } else if (key == "modules") {
+      if (!value.isArray()) return fail("\"modules\" must be an array");
+      for (const JsonValue& entry : value.asArray()) {
+        if (!entry.isObject())
+          return fail("each module entry must be an object");
+        LayerModule mod;
+        for (const auto& [mk, mv] : entry.asObject()) {
+          if (mk == "name") {
+            if (!mv.isString() || mv.asString().empty())
+              return fail("module \"name\" must be a non-empty string");
+            mod.name = mv.asString();
+          } else if (mk == "deps") {
+            if (!mv.isArray()) return fail("module \"deps\" must be an array");
+            for (const JsonValue& dep : mv.asArray()) {
+              if (!dep.isString())
+                return fail("module deps must be strings");
+              mod.deps.push_back(dep.asString());
+            }
+          } else {
+            return fail("unknown module key \"" + mk + "\"");
+          }
+        }
+        if (mod.name.empty()) return fail("module entry is missing \"name\"");
+        graph.modules.push_back(std::move(mod));
+      }
+    } else if (key == "files") {
+      if (!value.isObject()) return fail("\"files\" must be an object");
+      for (const auto& [path, mod] : value.asObject()) {
+        if (!mod.isString())
+          return fail("files[\"" + path + "\"] must name a module");
+        graph.files.emplace(path, mod.asString());
+      }
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  if (graph.modules.empty()) return fail("\"modules\" must not be empty");
+
+  std::set<std::string> names;
+  for (const LayerModule& m : graph.modules)
+    if (!names.insert(m.name).second)
+      return fail("duplicate module \"" + m.name + "\"");
+  for (LayerModule& m : graph.modules) {
+    std::sort(m.deps.begin(), m.deps.end());
+    m.deps.erase(std::unique(m.deps.begin(), m.deps.end()), m.deps.end());
+    for (const std::string& dep : m.deps) {
+      if (dep == m.name)
+        return fail("module \"" + m.name + "\" depends on itself");
+      if (names.count(dep) == 0)
+        return fail("module \"" + m.name + "\" depends on undeclared \"" +
+                    dep + "\"");
+    }
+  }
+  for (const auto& [path, mod] : graph.files)
+    if (names.count(mod) == 0)
+      return fail("files[\"" + path + "\"] names undeclared module \"" + mod +
+                  "\"");
+  std::sort(graph.modules.begin(), graph.modules.end(),
+            [](const LayerModule& a, const LayerModule& b) {
+              return a.name < b.name;
+            });
+  return graph;
+}
+
+std::string layersToJson(const LayerGraph& graph) {
+  LayerGraph canonical = graph;
+  std::sort(canonical.modules.begin(), canonical.modules.end(),
+            [](const LayerModule& a, const LayerModule& b) {
+              return a.name < b.name;
+            });
+
+  // Hand-rolled pretty writer: one module per line keeps the committed file
+  // diffable; the parser accepts the output (round-trip is pinned in tests).
+  std::string out = "{\n  \"version\": 1,\n  \"modules\": [\n";
+  for (std::size_t i = 0; i < canonical.modules.size(); ++i) {
+    LayerModule mod = canonical.modules[i];
+    std::sort(mod.deps.begin(), mod.deps.end());
+    out += "    {\"name\": \"" + mod.name + "\", \"deps\": [";
+    for (std::size_t j = 0; j < mod.deps.size(); ++j) {
+      if (j) out += ", ";
+      out += "\"" + mod.deps[j] + "\"";
+    }
+    out += "]}";
+    out += i + 1 < canonical.modules.size() ? ",\n" : "\n";
+  }
+  out += "  ]";
+  if (!canonical.files.empty()) {
+    out += ",\n  \"files\": {\n";
+    std::size_t i = 0;
+    for (const auto& [path, mod] : canonical.files) {
+      out += "    \"" + path + "\": \"" + mod + "\"";
+      out += ++i < canonical.files.size() ? ",\n" : "\n";
+    }
+    out += "  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string layersCycle(const LayerGraph& graph) {
+  // Iterative DFS with an explicit color map; the first back edge found
+  // (in sorted module order, so deterministically) is rendered as a path.
+  enum class Color { White, Grey, Black };
+  std::map<std::string, Color> color;
+  for (const LayerModule& m : graph.modules) color[m.name] = Color::White;
+
+  std::vector<std::string> path;
+  std::string cycle;
+
+  // Recursive lambda via explicit stack-free recursion helper.
+  struct Dfs {
+    const LayerGraph& graph;
+    std::map<std::string, Color>& color;
+    std::vector<std::string>& path;
+    std::string& cycle;
+
+    bool visit(const std::string& name) {
+      color[name] = Color::Grey;
+      path.push_back(name);
+      if (const LayerModule* m = graph.find(name)) {
+        for (const std::string& dep : m->deps) {
+          if (color[dep] == Color::Grey) {
+            auto it = std::find(path.begin(), path.end(), dep);
+            for (; it != path.end(); ++it) cycle += *it + " -> ";
+            cycle += dep;
+            return true;
+          }
+          if (color[dep] == Color::White && visit(dep)) return true;
+        }
+      }
+      path.pop_back();
+      color[name] = Color::Black;
+      return false;
+    }
+  } dfs{graph, color, path, cycle};
+
+  for (const LayerModule& m : graph.modules) {
+    if (color[m.name] == Color::White && dfs.visit(m.name)) break;
+  }
+  return cycle;
+}
+
+}  // namespace mcsim::lint

@@ -1,0 +1,68 @@
+// The checked-in layering DAG (tools/lint/layers.json) and its codec.
+//
+// mcsim's 13 modules follow a strict bottom-up layering (util → dag/sim →
+// engine → obs/faults → runner → workflows/analysis → serve); until v2 that
+// layering was enforced only by convention plus two special cases hard-coded
+// into the include-hygiene rule.  layers.json makes the whole DAG explicit:
+// each module declares the modules its files may include, and the linter's
+// include-graph pass diagnoses any edge the DAG does not allow.
+//
+// Files that genuinely straddle layers (obs/report.* sits above engine while
+// obs/sink.* sits below util) are assigned to *virtual* sub-modules via the
+// "files" map, so the graph stays an honest DAG instead of collapsing into
+// "obs may include everything".  The committed graph is pinned to the actual
+// include graph by tests/lint/layers_test.cpp: an edge that stops being used
+// must be deleted, a new edge must be declared (or the include fixed).
+//
+// The codec goes through util/json + Expected<> like the provider profiles:
+// every rejection names the key and the constraint it violated.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mcsim/util/expected.hpp"
+
+namespace mcsim::lint {
+
+struct LayerModule {
+  std::string name;
+  std::vector<std::string> deps;  ///< Modules this module's files may include.
+};
+
+struct LayerGraph {
+  /// Sorted by name (the codec canonicalizes; order is part of the bytes).
+  std::vector<LayerModule> modules;
+  /// Exact root-relative path → module, overriding the directory mapping
+  /// (virtual sub-modules; the mcsim.hpp umbrella; generated headers).
+  std::map<std::string, std::string> files;
+
+  /// The declared module, or nullptr if `name` is not in the DAG.
+  const LayerModule* find(const std::string& name) const;
+
+  /// Module a root-relative path belongs to for layering purposes: the
+  /// "files" override if present, else the src/mcsim/<dir>/ prefix, else ""
+  /// (tools/tests/bench/examples are exempt from layering).
+  std::string moduleOf(const std::string& path) const;
+
+  /// Directory-derived module of a path ("src/mcsim/obs/sink.hpp" → "obs"),
+  /// ignoring overrides; "" outside src/mcsim/.  Used by the IWYU pass,
+  /// which keys on include paths rather than virtual modules.
+  static std::string dirModuleOf(const std::string& path);
+};
+
+/// Parse a layers.json document.  Rejects unknown keys, non-string deps,
+/// deps on undeclared modules, duplicate modules, and file overrides that
+/// name undeclared modules.
+Expected<LayerGraph> layersFromJson(const std::string& text);
+
+/// Canonical serialization (modules sorted by name, deps sorted): parsing
+/// the output yields an identical graph, byte for byte.
+std::string layersToJson(const LayerGraph& graph);
+
+/// "" when the declared dependency graph is acyclic; otherwise a rendered
+/// cycle like "engine -> obs.session -> engine".
+std::string layersCycle(const LayerGraph& graph);
+
+}  // namespace mcsim::lint

@@ -20,13 +20,31 @@
 // first code line after the comment block when standalone (so a multi-line
 // justification can precede the code).  Unused suppressions are themselves
 // diagnosed (rule `unused-suppression`) so stale allows cannot accumulate.
+//
+// v2 grows the per-line scanner into a project-wide semantic analyzer:
+//  - an include-graph pass maps files to modules, checks every include edge
+//    against the checked-in layering DAG (tools/lint/layers.json; see
+//    layers.hpp), diagnoses include cycles and missing #pragma once, and
+//    flags use of a sibling module's symbols without a direct include;
+//  - a concurrency family (raw mutex lock/unlock outside RAII guards,
+//    inconsistent pairwise lock order within a TU, std::thread detach,
+//    condition-variable wait without predicate);
+//  - a float-determinism family (accumulation inside hash-ordered
+//    iteration, exact ==/!= against float literals outside test code);
+//  - SARIF 2.1.0 / GitHub-annotation renderers and a baseline file
+//    (tools/lint/baseline.json; see baseline.hpp) so new rules can land
+//    strict while pre-existing findings are tracked, not blocking.
 #pragma once
 
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mcsim::lint {
+
+struct LayerGraph;  // layers.hpp
+struct Baseline;    // baseline.hpp
 
 /// One finding, formatted by callers as `file:line: [rule] message`.
 struct Diagnostic {
@@ -59,6 +77,20 @@ struct FileContent {
 struct Options {
   /// Diagnose allow() suppression comments that suppressed nothing.
   bool checkUnusedSuppressions = true;
+
+  /// Layering DAG for the include-graph pass; layering diagnostics
+  /// (layer-order, layer-config) are skipped when null.  lintTree auto-loads
+  /// <root>/tools/lint/layers.json when this is unset (see below).
+  const LayerGraph* layers = nullptr;
+
+  /// Baseline for --check-suppressions-against-baseline: when set together
+  /// with checkSuppressionsAgainstBaseline, an allow() whose target
+  /// (file, line, rule) is also tracked by the baseline is flagged as
+  /// redundant-suppression.  Baseline *partitioning* is the caller's job
+  /// (applyBaseline in baseline.hpp) — lintFiles always returns the full
+  /// finding set.
+  const Baseline* baseline = nullptr;
+  bool checkSuppressionsAgainstBaseline = false;
 };
 
 // -- lexer (exposed for tests) ------------------------------------------------
@@ -81,18 +113,40 @@ std::vector<SourceLine> stripSource(const std::string& text);
 std::vector<Diagnostic> lintFiles(const std::vector<FileContent>& files,
                                   const Options& options = {});
 
-/// Walk `root`'s subdirectories (default: src, tools, bench, examples),
-/// collecting *.hpp / *.cpp / *.hpp.in, and lint them.  `tools/lint` fixture
-/// directories named `fixtures` are skipped.  Returns diagnostics; sets
-/// `error` (if non-null) and returns empty on I/O failure.
+/// Walk `root`'s subdirectories (default: src, tools, bench, examples,
+/// tests), collecting *.hpp / *.cpp / *.hpp.in, and lint them.  Directories
+/// named `fixtures` (seeded-violation test trees) are skipped.  When
+/// `options.layers` is unset, `<root>/tools/lint/layers.json` is loaded
+/// automatically if present (a malformed file is itself a layer-config
+/// finding).  Returns diagnostics; sets `error` (if non-null) and returns
+/// empty on I/O failure.
 std::vector<Diagnostic> lintTree(const std::filesystem::path& root,
                                  std::vector<std::string> subdirs = {},
                                  const Options& options = {},
                                  std::string* error = nullptr);
 
+/// Module-level include edges actually present in `files`, resolved through
+/// `graph` (virtual sub-module overrides included): sorted unique
+/// (from, to) pairs, self-edges omitted, files outside the graph skipped.
+/// tests/lint/layers_test.cpp pins these edges against the committed DAG.
+std::vector<std::pair<std::string, std::string>> moduleEdges(
+    const std::vector<FileContent>& files, const LayerGraph& graph);
+
 /// Render diagnostics as a stable JSON document (for CI consumption):
 /// {"version":1,"findings":[{"file","line","rule","message"},...],
 ///  "counts":{"<rule>":n,...},"total":n}
 std::string toJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Render findings as SARIF 2.1.0 (one run, driver "mcsim-lint", the full
+/// rule catalog, one result per finding).  Baselined findings are emitted
+/// with `suppressions: [{kind: "external"}]` so code-scanning UIs show them
+/// as tracked, not new.  Deterministic bytes for given inputs.
+std::string toSarif(const std::vector<Diagnostic>& fresh,
+                    const std::vector<Diagnostic>& baselined);
+
+/// Render findings as GitHub workflow commands (`::error file=..,line=..`);
+/// baselined findings become `::notice` annotations.
+std::string toGithubAnnotations(const std::vector<Diagnostic>& fresh,
+                                const std::vector<Diagnostic>& baselined);
 
 }  // namespace mcsim::lint

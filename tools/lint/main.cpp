@@ -1,16 +1,27 @@
 // mcsim-lint CLI driver.  See lint.hpp for the rule catalog and design.
 //
-//   mcsim-lint [--root DIR] [--json] [--list-rules] [--no-unused-check]
-//              [subdir...]
+//   mcsim-lint [--root DIR] [--format=text|json|github|sarif] [--list-rules]
+//              [--layers FILE | --no-layers] [--baseline FILE | --no-baseline]
+//              [--write-baseline] [--check-suppressions-against-baseline]
+//              [--no-unused-check] [subdir...]
 //
-// Lints src/ tools/ bench/ examples/ under --root (default: the current
-// directory) unless explicit subdirs are given.  Exit status: 0 clean,
-// 1 findings, 2 usage or I/O error.
+// Lints src/ tools/ bench/ examples/ tests/ under --root (default: the
+// current directory) unless explicit subdirs are given.  The layering DAG
+// (tools/lint/layers.json) and the baseline (tools/lint/baseline.json) are
+// picked up from the root automatically when present.  Findings already in
+// the baseline are reported but do not block; exit status reflects *fresh*
+// findings only: 0 clean, 1 fresh findings, 2 usage or I/O error.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "baseline.hpp"
+#include "layers.hpp"
 #include "lint.hpp"
 
 namespace {
@@ -18,19 +29,52 @@ namespace {
 void printUsage(std::ostream& os) {
   os << "usage: mcsim-lint [options] [subdir...]\n"
         "  --root DIR         repository root to lint (default: .)\n"
-        "  --json             machine-readable findings on stdout\n"
+        "  --format=FMT       text (default), json, github (workflow\n"
+        "                     annotations), or sarif (SARIF 2.1.0)\n"
+        "  --json             shorthand for --format=json\n"
+        "  --sarif            shorthand for --format=sarif\n"
         "  --list-rules       print the rule catalog and exit\n"
+        "  --layers FILE      layering DAG (default:\n"
+        "                     ROOT/tools/lint/layers.json if present)\n"
+        "  --no-layers        skip the layering pass entirely\n"
+        "  --baseline FILE    baseline (default:\n"
+        "                     ROOT/tools/lint/baseline.json if present)\n"
+        "  --no-baseline      treat every finding as fresh\n"
+        "  --write-baseline   adopt all current findings as the baseline\n"
+        "                     and write the baseline file\n"
+        "  --check-suppressions-against-baseline\n"
+        "                     flag allow() comments whose line the baseline\n"
+        "                     already tracks (redundant-suppression)\n"
         "  --no-unused-check  do not diagnose stale allow() suppressions\n"
         "  subdir...          subdirectories of root to scan\n"
-        "                     (default: src tools bench examples)\n"
-        "exit status: 0 clean, 1 findings, 2 error\n";
+        "                     (default: src tools bench examples tests)\n"
+        "exit status: 0 clean, 1 fresh findings, 2 error\n";
+}
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+bool fileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  bool json = false;
+  std::string format = "text";
+  std::string layersPath;    // explicit --layers
+  std::string baselinePath;  // explicit --baseline
+  bool noLayers = false;
+  bool noBaseline = false;
+  bool writeBaseline = false;
   mcsim::lint::Options options;
   std::vector<std::string> subdirs;
 
@@ -44,15 +88,35 @@ int main(int argc, char** argv) {
         std::cout << r.id << "\n    " << r.summary << "\n";
       return 0;
     } else if (arg == "--json") {
-      json = true;
-    } else if (arg == "--no-unused-check") {
-      options.checkUnusedSuppressions = false;
-    } else if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::cerr << "mcsim-lint: --root needs a value\n";
+      format = "json";
+    } else if (arg == "--sarif") {
+      format = "sarif";
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "github" &&
+          format != "sarif") {
+        std::cerr << "mcsim-lint: unknown format " << format << "\n";
         return 2;
       }
-      root = argv[++i];
+    } else if (arg == "--no-unused-check") {
+      options.checkUnusedSuppressions = false;
+    } else if (arg == "--no-layers") {
+      noLayers = true;
+    } else if (arg == "--no-baseline") {
+      noBaseline = true;
+    } else if (arg == "--write-baseline") {
+      writeBaseline = true;
+    } else if (arg == "--check-suppressions-against-baseline") {
+      options.checkSuppressionsAgainstBaseline = true;
+    } else if (arg == "--root" || arg == "--layers" || arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "mcsim-lint: " << arg << " needs a value\n";
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--root") root = value;
+      else if (arg == "--layers") layersPath = value;
+      else baselinePath = value;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "mcsim-lint: unknown option " << arg << "\n";
       printUsage(std::cerr);
@@ -62,23 +126,118 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Layering DAG: an explicit --layers must parse; the default (auto-load
+  // inside lintTree) degrades to a layer-config finding instead.
+  // --no-layers lets the auto-load happen and strips layer-order /
+  // layer-config findings afterwards (lintTree auto-loads whenever
+  // options.layers is unset, and an empty LayerGraph is not a valid
+  // "no layering" sentinel — the codec requires modules to be non-empty).
+  mcsim::lint::LayerGraph layers;
+  if (!noLayers && !layersPath.empty()) {
+    std::string text;
+    if (!readFile(layersPath, &text)) {
+      std::cerr << "mcsim-lint: cannot read " << layersPath << "\n";
+      return 2;
+    }
+    mcsim::Expected<mcsim::lint::LayerGraph> parsed =
+        mcsim::lint::layersFromJson(text);
+    if (!parsed.hasValue()) {
+      std::cerr << "mcsim-lint: " << parsed.error() << "\n";
+      return 2;
+    }
+    layers = std::move(parsed.value());
+    options.layers = &layers;
+  }
+
+  // Baseline: explicit path must parse; the default is picked up from the
+  // root when present.
+  mcsim::lint::Baseline baseline;
+  bool haveBaseline = false;
+  if (!noBaseline) {
+    std::string path = baselinePath;
+    if (path.empty()) {
+      const std::string candidate = root + "/tools/lint/baseline.json";
+      if (fileExists(candidate)) path = candidate;
+    }
+    if (!path.empty()) {
+      std::string text;
+      if (!readFile(path, &text)) {
+        std::cerr << "mcsim-lint: cannot read " << path << "\n";
+        return 2;
+      }
+      mcsim::Expected<mcsim::lint::Baseline> parsed =
+          mcsim::lint::baselineFromJson(text);
+      if (!parsed.hasValue()) {
+        std::cerr << "mcsim-lint: " << parsed.error() << "\n";
+        return 2;
+      }
+      baseline = std::move(parsed.value());
+      haveBaseline = true;
+    }
+  }
+  if (haveBaseline) options.baseline = &baseline;
+
   std::string error;
-  const std::vector<mcsim::lint::Diagnostic> findings =
+  std::vector<mcsim::lint::Diagnostic> findings =
       mcsim::lint::lintTree(root, subdirs, options, &error);
   if (!error.empty()) {
     std::cerr << "mcsim-lint: " << error << "\n";
     return 2;
   }
+  if (noLayers) {
+    // --no-layers also disables the auto-loaded DAG's diagnostics.
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(),
+                       [](const mcsim::lint::Diagnostic& d) {
+                         return d.rule == "layer-order" ||
+                                d.rule == "layer-config";
+                       }),
+        findings.end());
+  }
 
-  if (json) {
-    std::cout << mcsim::lint::toJson(findings) << "\n";
+  if (writeBaseline) {
+    const std::string path = baselinePath.empty()
+                                 ? root + "/tools/lint/baseline.json"
+                                 : baselinePath;
+    const mcsim::lint::Baseline adopted =
+        mcsim::lint::baselineFromFindings(findings);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "mcsim-lint: cannot write " << path << "\n";
+      return 2;
+    }
+    out << mcsim::lint::baselineToJson(adopted);
+    std::cout << "mcsim-lint: wrote " << adopted.entries.size()
+              << " baseline entr" << (adopted.entries.size() == 1 ? "y" : "ies")
+              << " to " << path << "\n";
+    return 0;
+  }
+
+  mcsim::lint::BaselinePartition split =
+      mcsim::lint::applyBaseline(std::move(findings), baseline);
+
+  if (format == "json") {
+    std::cout << mcsim::lint::toJson(split.fresh) << "\n";
+  } else if (format == "sarif") {
+    std::cout << mcsim::lint::toSarif(split.fresh, split.baselined);
+  } else if (format == "github") {
+    std::cout << mcsim::lint::toGithubAnnotations(split.fresh,
+                                                  split.baselined);
   } else {
-    for (const mcsim::lint::Diagnostic& d : findings)
+    for (const mcsim::lint::Diagnostic& d : split.fresh)
       std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
                 << d.message << "\n";
-    if (!findings.empty())
-      std::cout << "mcsim-lint: " << findings.size() << " finding"
-                << (findings.size() == 1 ? "" : "s") << "\n";
+    for (const mcsim::lint::Diagnostic& d : split.baselined)
+      std::cout << d.file << ":" << d.line << ": [" << d.rule
+                << "] (baselined) " << d.message << "\n";
+    for (const mcsim::lint::BaselineEntry& e : split.expired)
+      std::cout << e.file << ":" << e.line << ": [" << e.rule
+                << "] baseline entry matched nothing; regenerate with "
+                   "--write-baseline\n";
+    if (!split.fresh.empty() || !split.baselined.empty())
+      std::cout << "mcsim-lint: " << split.fresh.size() << " fresh, "
+                << split.baselined.size() << " baselined, "
+                << split.expired.size() << " expired\n";
   }
-  return findings.empty() ? 0 : 1;
+  return split.fresh.empty() ? 0 : 1;
 }

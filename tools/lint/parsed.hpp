@@ -1,0 +1,127 @@
+// Internal shared representation for mcsim-lint passes.
+//
+// lint.cpp owns the lexer and the line-local rule families; the v2
+// project-wide passes (include graph / layering in graph.cpp, concurrency in
+// concurrency.cpp, float determinism in floats.cpp) consume the same parsed
+// views.  This header is the seam between them: one ParsedFile per input,
+// carrying the stripped code view, the line index, the pre-extracted
+// `#include` directives (from the raw text — the code view blanks quoted
+// paths), and the collected allow() suppressions.  Everything here is an
+// implementation detail of the linter; the public surface stays in lint.hpp.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace mcsim::lint::detail {
+
+struct Suppression {
+  int line = 0;    ///< Line carrying the allow() comment.
+  int target = 0;  ///< Line the suppression covers (first code line at or
+                   ///< after `line`; a trailing comment covers its own line).
+  std::string rule;
+  bool used = false;
+  bool known = true;
+};
+
+/// One `#include` directive (recovered from the raw source line).
+struct IncludeDirective {
+  int line = 1;
+  std::string path;  ///< As written, without quotes/brackets.
+  bool angled = false;
+};
+
+struct ParsedFile {
+  std::string path;
+  std::vector<SourceLine> lines;
+  std::string blob;                    ///< Code views joined by '\n'.
+  std::vector<std::size_t> lineStart;  ///< Offset of each line in blob.
+  std::vector<bool> preproc;           ///< Line starts with '#'.
+  std::vector<Suppression> sups;
+  std::vector<IncludeDirective> includes;
+};
+
+using Diags = std::vector<Diagnostic>;
+
+// Rule ids shared between lint.cpp's catalog and the pass sources.
+inline constexpr const char* kLayerOrder = "layer-order";
+inline constexpr const char* kLayerConfig = "layer-config";
+inline constexpr const char* kIncludeCycle = "include-cycle";
+inline constexpr const char* kPragmaOnce = "pragma-once";
+inline constexpr const char* kMissingInclude = "missing-include";
+inline constexpr const char* kRawMutexLock = "raw-mutex-lock";
+inline constexpr const char* kLockOrder = "lock-order";
+inline constexpr const char* kThreadDetach = "thread-detach";
+inline constexpr const char* kCvWaitPredicate = "cv-wait-predicate";
+inline constexpr const char* kFloatEquality = "float-equality";
+
+void diag(Diags& out, const ParsedFile& f, int line, const char* rule,
+          std::string message);
+
+int lineOf(const ParsedFile& f, std::size_t offset);
+bool onPreprocLine(const ParsedFile& f, std::size_t offset);
+
+// -- small text helpers shared by every pass ---------------------------------
+
+inline bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(std::string_view s);
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+std::size_t nextNonSpace(const std::string& s, std::size_t i);
+std::size_t prevNonSpace(const std::string& s, std::size_t i);
+std::size_t matchAngle(const std::string& s, std::size_t pos);
+std::size_t matchParen(const std::string& s, std::size_t pos);
+std::size_t matchBrace(const std::string& s, std::size_t pos);
+bool wholeWordIn(std::string_view haystack, std::string_view word);
+
+inline bool pathUnder(const ParsedFile& f, std::string_view prefix) {
+  return startsWith(f.path, prefix);
+}
+
+/// Invoke fn(name, begin, end) for every identifier token in `blob`.
+template <typename Fn>
+void forEachIdentifier(const std::string& blob, Fn fn) {
+  const std::size_t n = blob.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (isIdentChar(blob[i]) &&
+        !std::isdigit(static_cast<unsigned char>(blob[i]))) {
+      std::size_t b = i;
+      while (i < n && isIdentChar(blob[i])) ++i;
+      fn(std::string_view(blob).substr(b, i - b), b, i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// For a member call `base.name(` / `base->name(` / `base[i].name(` where
+/// `begin` indexes the first char of `name`, return the base identifier
+/// ("base"), or "" when the shape does not match.
+std::string memberCallBase(const std::string& blob, std::size_t begin);
+
+// -- pass entry points (wired together by lintFiles in lint.cpp) -------------
+
+/// Project passes: pragma-once, include cycles, layering against `layers`
+/// (skipped when null), and the IWYU-lite qualified-name check.
+void runGraphPasses(const std::vector<ParsedFile>& files,
+                    const LayerGraph* layers, Diags& out);
+
+/// Concurrency family: raw mutex lock/unlock, lock-order inversion,
+/// thread detach, condition-variable wait without predicate.
+void runConcurrencyPasses(const std::vector<ParsedFile>& files, Diags& out);
+
+/// Float-determinism family: exact ==/!= against float literals outside
+/// test code.  (The hash-ordered accumulation rule lives with the
+/// unordered-iteration scanner in lint.cpp, which owns the declared-name
+/// index it needs.)
+void runFloatPasses(const std::vector<ParsedFile>& files, Diags& out);
+
+}  // namespace mcsim::lint::detail

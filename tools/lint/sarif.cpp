@@ -1,0 +1,129 @@
+// SARIF 2.1.0 and GitHub-workflow-command renderers.
+//
+// The SARIF document is a single run with driver "mcsim-lint", the full rule
+// catalog under tool.driver.rules (so code-scanning UIs can show rule help
+// without a second lookup), and one result per finding; baselined findings
+// carry `suppressions: [{"kind": "external"}]`, the SARIF way of saying
+// "known, tracked elsewhere, not new".  Output bytes are deterministic for
+// given inputs — tests pin the structure.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace mcsim::lint {
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void appendResult(std::ostringstream& os, const Diagnostic& d,
+                  int ruleIndex, bool suppressed, bool first) {
+  if (!first) os << ',';
+  os << "\n      {\"ruleId\": \"" << jsonEscape(d.rule) << "\"";
+  if (ruleIndex >= 0) os << ", \"ruleIndex\": " << ruleIndex;
+  os << ", \"level\": \"" << (suppressed ? "note" : "error") << "\""
+     << ", \"message\": {\"text\": \"" << jsonEscape(d.message) << "\"}"
+     << ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+        "{\"uri\": \""
+     << jsonEscape(d.file) << "\", \"uriBaseId\": \"SRCROOT\"}, "
+     << "\"region\": {\"startLine\": " << d.line << "}}}]";
+  if (suppressed) os << ", \"suppressions\": [{\"kind\": \"external\"}]";
+  os << "}";
+}
+
+/// %-escape for GitHub workflow command *message* payloads.
+std::string ghEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%') out += "%25";
+    else if (c == '\r') out += "%0D";
+    else if (c == '\n') out += "%0A";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toSarif(const std::vector<Diagnostic>& fresh,
+                    const std::vector<Diagnostic>& baselined) {
+  const std::vector<RuleInfo>& catalog = ruleCatalog();
+  auto indexOf = [&catalog](const std::string& rule) {
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+      if (rule == catalog[i].id) return static_cast<int>(i);
+    return -1;
+  };
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"mcsim-lint\",\n"
+     << "      \"informationUri\": "
+        "\"https://example.invalid/mcsim/tools/lint\",\n"
+     << "      \"rules\": [";
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (i) os << ',';
+    os << "\n        {\"id\": \"" << catalog[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << jsonEscape(catalog[i].summary) << "\"}}";
+  }
+  os << "\n      ]\n"
+     << "    }},\n"
+     << "    \"columnKind\": \"utf16CodeUnits\",\n"
+     << "    \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : fresh) {
+    appendResult(os, d, indexOf(d.rule), /*suppressed=*/false, first);
+    first = false;
+  }
+  for (const Diagnostic& d : baselined) {
+    appendResult(os, d, indexOf(d.rule), /*suppressed=*/true, first);
+    first = false;
+  }
+  os << (first ? "]\n" : "\n    ]\n") << "  }]\n}\n";
+  return os.str();
+}
+
+std::string toGithubAnnotations(const std::vector<Diagnostic>& fresh,
+                                const std::vector<Diagnostic>& baselined) {
+  std::ostringstream os;
+  for (const Diagnostic& d : fresh)
+    os << "::error file=" << d.file << ",line=" << d.line
+       << ",title=mcsim-lint " << d.rule << "::" << ghEscape(d.message)
+       << "\n";
+  for (const Diagnostic& d : baselined)
+    os << "::notice file=" << d.file << ",line=" << d.line
+       << ",title=mcsim-lint " << d.rule << " (baselined)::"
+       << ghEscape(d.message) << "\n";
+  return os.str();
+}
+
+}  // namespace mcsim::lint
